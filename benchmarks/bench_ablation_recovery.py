@@ -1,0 +1,110 @@
+"""Ablation: what dominates proceed-trap recovery time?
+
+Sweeps the amount of shared memory (stage-2/SMMU invalidation work, the
+serialized step 1) and the failed device's resident memory (clearing work
+in step 2) to show where recovery time goes — the design decision the
+paper motivates by decoupling the clearing logic from the startup logic
+and serializing only step 1 across concurrent failures.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table
+from repro.systems import CronusSystem, TestbedConfig
+
+
+def _recovery_with_shared_pages(shared_pages: int):
+    """Share N pages between the CPU and GPU partitions, then crash GPU."""
+    system = CronusSystem()
+    cpu = system.moses["cpu0"]
+    gpu = system.moses["gpu0"]
+    if shared_pages:
+        pages = cpu.shim.alloc_pages(shared_pages)
+        system.spm.share_pages(cpu.partition, gpu.partition, pages)
+    return system.fail_partition("gpu0")
+
+
+def _recovery_with_device_bytes(mib: int):
+    """Fill GPU memory with tenant data, then crash its partition."""
+    system = CronusSystem()
+    rt = system.runtime(cuda_kernels=("vecadd",), owner="filler")
+    elements = mib * (1 << 20) // 4
+    handle = rt.cudaMalloc((elements,))
+    rt.cudaMemcpyH2D(handle, np.zeros(elements, np.float32))
+    report = system.fail_partition("gpu0")
+    return report
+
+
+def test_ablation_recovery_vs_shared_pages(benchmark, record_table):
+    def build():
+        rows = []
+        reports = {}
+        for pages in (0, 16, 64, 256):
+            report = _recovery_with_shared_pages(pages)
+            reports[pages] = report
+            rows.append(
+                [
+                    pages,
+                    report.invalidated_stage2,
+                    f"{report.proceed_us:.1f}",
+                    f"{report.clear_us / 1000:.2f}",
+                    f"{report.total_us / 1000:.2f}",
+                ]
+            )
+        return reports, format_table(
+            ["shared pages", "stage2 invalidated", "proceed (us)",
+             "clear (ms)", "total (ms)"],
+            rows,
+        )
+
+    reports, table = run_once(benchmark, build)
+    record_table("ablation_recovery_shared_pages", table)
+
+    # Proceed time is linear in shared pages but stays tiny; the mOS
+    # reload dominates total recovery at every point.
+    assert reports[256].proceed_us > reports[16].proceed_us
+    for report in reports.values():
+        assert report.reload_us > 0.5 * report.total_us
+
+
+def test_ablation_recovery_vs_device_memory(benchmark, record_table):
+    def build():
+        rows = []
+        totals = {}
+        for mib in (1, 16, 64):
+            report = _recovery_with_device_bytes(mib)
+            totals[mib] = report.total_us
+            rows.append(
+                [
+                    mib,
+                    f"{report.device_bytes_cleared / (1 << 20):.0f}",
+                    f"{report.clear_us / 1000:.2f}",
+                    f"{report.total_us / 1000:.2f}",
+                ]
+            )
+        return totals, format_table(
+            ["tenant MiB", "cleared MiB", "clear (ms)", "total (ms)"], rows
+        )
+
+    totals, table = run_once(benchmark, build)
+    record_table("ablation_recovery_device_memory", table)
+    # Clearing grows with device-resident data (A3's price), and with
+    # tens of MiB it becomes a visible share of recovery.
+    assert totals[64] > totals[1]
+
+
+def test_concurrent_failures_beat_serial(benchmark):
+    """Concurrent recoveries overlap steps 2-3 (section IV-D)."""
+
+    def build():
+        system = CronusSystem(TestbedConfig(num_gpus=2))
+        start = system.clock.now
+        reports = system.spm.recover_partitions(["part-gpu0", "part-gpu1"])
+        elapsed = system.clock.now - start
+        serial = sum(r.clear_us + r.reload_us for r in reports)
+        return elapsed, serial
+
+    elapsed, serial = run_once(benchmark, build)
+    assert elapsed < 0.75 * serial

@@ -1,0 +1,74 @@
+"""Ablation: what does sRPC itself buy?
+
+Runs the same CRONUS stack with its inter-enclave RPC protocol swapped
+(``rpc_mode``): streaming RPC over trusted shared memory (the paper's
+design), synchronous lock-step RPC over untrusted memory, and HIX-style
+encrypted lock-step RPC.  Everything else (partitions, mOSes, enclaves,
+devices) is identical, so the gap is exactly the sRPC contribution the
+design sections argue for.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table, normalize
+from repro.systems import CronusSystem
+from repro.workloads.datasets import synthetic_mnist
+from repro.workloads.dnn import TRAINING_KERNELS, lenet, train
+from repro.workloads.rodinia import RODINIA, all_kernels
+
+MODES = ("srpc", "sync", "encrypted")
+
+
+def _rodinia_times(bench_name: str):
+    times = {}
+    for mode in MODES:
+        system = CronusSystem(rpc_mode=mode)
+        runtime = system.runtime(cuda_kernels=all_kernels(), owner="ablation")
+        start = system.clock.now
+        RODINIA[bench_name].run(runtime)
+        times[mode] = system.clock.now - start
+        system.release(runtime)
+    return times
+
+
+def _training_times():
+    times = {}
+    data = synthetic_mnist(32)
+    for mode in MODES:
+        system = CronusSystem(rpc_mode=mode)
+        runtime = system.runtime(cuda_kernels=TRAINING_KERNELS, owner="ablation")
+        model = lenet()
+        start = system.clock.now
+        train(runtime, model, data, epochs=1, batch_size=16)
+        times[mode] = system.clock.now - start
+        model.free(runtime)
+        system.release(runtime)
+    return times
+
+
+@pytest.mark.parametrize("bench_name", ["hotspot", "pathfinder", "gemm"], ids=str)
+def test_ablation_rodinia(benchmark, bench_name):
+    times = run_once(benchmark, lambda: _rodinia_times(bench_name))
+    norm = normalize(times, "srpc")
+    benchmark.extra_info.update({m: round(v, 4) for m, v in norm.items()})
+    # Removing streaming costs performance; adding encryption costs more.
+    assert norm["srpc"] < norm["sync"] < norm["encrypted"]
+
+
+def test_ablation_table(benchmark, record_table):
+    def build():
+        rows = []
+        for name in ("hotspot", "pathfinder", "gemm"):
+            norm = normalize(_rodinia_times(name), "srpc")
+            rows.append([name] + [f"{norm[m]:.3f}" for m in MODES])
+        norm = normalize(_training_times(), "srpc")
+        rows.append(["lenet-train"] + [f"{norm[m]:.3f}" for m in MODES])
+        return format_table(["workload"] + list(MODES), rows)
+
+    record_table("ablation_rpc_mode", run_once(benchmark, build))
+
+
+def test_ablation_training(benchmark):
+    times = run_once(benchmark, _training_times)
+    assert times["srpc"] < times["sync"] < times["encrypted"]

@@ -1,0 +1,70 @@
+"""Future-work experiment (section VII-C): distributed CRONUS.
+
+Scaling LeNet training across 1-4 CRONUS machines, with the gradient
+exchange crossing an untrusted network (hence encrypted), versus the
+intra-machine multi-GPU exchange of figure 11b.  The shape the extension
+should show: near-linear scaling, but a visibly larger communication tax
+than intra-machine P2P — locality still matters inside the cluster.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cluster import Cluster, distributed_train
+from repro.metrics import format_table
+from repro.systems import CronusSystem, TestbedConfig
+from repro.workloads.distributed import data_parallel_train
+
+NODE_COUNTS = (1, 2, 4)
+
+
+def test_distributed_scaling(benchmark, record_table):
+    def build():
+        rows = []
+        results = {}
+        for nodes in NODE_COUNTS:
+            cluster = Cluster(num_nodes=4)
+            result = distributed_train(cluster, nodes=nodes, total_samples=128)
+            results[nodes] = result
+            rows.append(
+                [
+                    nodes,
+                    f"{result.total_time_us / 1000:.2f}ms",
+                    f"{result.comm_time_us / 1000:.2f}ms",
+                    result.steps,
+                ]
+            )
+        # The intra-machine comparison point (figure 11b's p2p mode).
+        intra = data_parallel_train(
+            CronusSystem(TestbedConfig(num_gpus=4)), 4, "p2p", total_samples=128
+        )
+        rows.append(
+            ["4 (1 machine)", f"{intra.total_time_us / 1000:.2f}ms",
+             f"{intra.comm_time_us / 1000:.2f}ms", intra.steps]
+        )
+        return results, intra, format_table(
+            ["nodes", "train time", "comm time", "steps"], rows
+        )
+
+    results, intra, table = run_once(benchmark, build)
+    record_table("distributed_scaling", table)
+
+    # Scaling holds across machines.
+    assert results[4].total_time_us < results[2].total_time_us < results[1].total_time_us
+    # But the encrypted network costs far more than intra-machine P2P.
+    assert results[4].comm_time_us > 5 * intra.comm_time_us
+    # Intra-machine 4-GPU beats 4 separate machines for the same job.
+    assert intra.total_time_us < results[4].total_time_us
+
+
+def test_distributed_failure_recovery(benchmark):
+    def build():
+        cluster = Cluster(num_nodes=3)
+        return distributed_train(
+            cluster, nodes=3, total_samples=144, fail_node_at_step=1
+        )
+
+    result = run_once(benchmark, build)
+    assert result.reschedules == 1
+    assert result.steps >= 3  # survivors absorbed the lost shard
+    benchmark.extra_info["steps_after_reschedule"] = result.steps

@@ -1,0 +1,60 @@
+"""Figure 10a: vta-bench throughput (GEMM and ALU) on the NPU.
+
+Paper shape: CRONUS is close to monolithic TrustZone and native execution —
+the NPU command stream is asynchronous, so sRPC costs amortize.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table, normalize
+from repro.systems import CronusSystem, MonolithicTrustZone, NativeLinux
+from repro.workloads.vta_bench import BENCH_PROGRAMS, run_alu, run_gemm
+
+SYSTEMS = (NativeLinux, MonolithicTrustZone, CronusSystem)  # HIX is GPU-only
+
+
+def _measure(which: str):
+    times = {}
+    for cls in SYSTEMS:
+        system = cls()
+        runtime = system.runtime(npu_programs=BENCH_PROGRAMS, owner="vta")
+        start = system.clock.now
+        if which == "gemm":
+            run_gemm(runtime, size=32, iters=10)
+        else:
+            run_alu(runtime, size=64, iters=10)
+        times[system.name] = system.clock.now - start
+        system.release(runtime)
+    return times
+
+
+@pytest.mark.parametrize("which", ["gemm", "alu"], ids=str)
+def test_fig10a_vta_bench(benchmark, which):
+    times = run_once(benchmark, lambda: _measure(which))
+    norm = normalize(times, "linux")
+    benchmark.extra_info.update({name: round(v, 4) for name, v in norm.items()})
+    assert norm["cronus"] - 1.0 < 0.15, f"{which}: CRONUS {norm['cronus']:.3f}x"
+    assert norm["trustzone"] <= norm["cronus"] * 1.05
+
+
+def test_fig10a_table(benchmark, record_table):
+    def build():
+        rows = []
+        for which in ("gemm", "alu"):
+            times = _measure(which)
+            norm = normalize(times, "linux")
+            # Throughput = normalized inverse time (ops volume is fixed).
+            rows.append(
+                [
+                    which,
+                    f"{1.0:.3f}",
+                    f"{1.0 / norm['trustzone']:.3f}",
+                    f"{1.0 / norm['cronus']:.3f}",
+                ]
+            )
+        return format_table(
+            ["bench", "linux thpt", "trustzone thpt", "cronus thpt"], rows
+        )
+
+    record_table("fig10a_vta_bench", run_once(benchmark, build))

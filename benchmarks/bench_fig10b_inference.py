@@ -1,0 +1,76 @@
+"""Figure 10b: CRONUS-TVM inference latency (ResNet18/50, YoloV3) on the
+NPU and on the CPU.
+
+Paper shape within the NPU bars: resnet18 < resnet50 < yolov3, and CRONUS
+adds little over monolithic TrustZone.  Deviation noted in EXPERIMENTS.md:
+the paper's "NPU" is VTA's fsim software simulator running on the CPU
+(hence slow); our NPU is modelled at hardware throughput, so our CPU bars
+are the slow ones — the cross-model ordering is preserved.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table
+from repro.systems import CronusSystem, MonolithicTrustZone, NativeLinux
+from repro.workloads.tvm import INFERENCE_GRAPHS, compile_graph, reference
+
+SYSTEMS = (NativeLinux, MonolithicTrustZone, CronusSystem)
+
+
+def _measure(model_name: str):
+    graph = INFERENCE_GRAPHS[model_name]()
+    x = np.random.default_rng(42).integers(-8, 8, (1, graph.input_features)).astype(np.int8)
+    npu_times = {}
+    cpu_time = None
+    for cls in SYSTEMS:
+        system = cls()
+        module = compile_graph(graph)
+        runtime = system.runtime(npu_programs=module.programs, owner="tvm")
+        module.deploy(runtime)
+        start = system.clock.now
+        out = module.run(runtime, x)
+        npu_times[system.name] = system.clock.now - start
+        assert np.array_equal(out, reference(module, x))
+        if cls is CronusSystem:
+            start = system.clock.now
+            module.run_on_cpu(runtime, x)
+            cpu_time = system.clock.now - start
+        system.release(runtime)
+    return npu_times, cpu_time
+
+
+@pytest.mark.parametrize("model_name", sorted(INFERENCE_GRAPHS), ids=str)
+def test_fig10b_latency(benchmark, model_name):
+    npu_times, cpu_time = run_once(benchmark, lambda: _measure(model_name))
+    overhead = npu_times["cronus"] / npu_times["linux"] - 1.0
+    benchmark.extra_info["cronus_npu_ms"] = round(npu_times["cronus"] / 1000, 3)
+    benchmark.extra_info["cpu_ms"] = round(cpu_time / 1000, 3)
+    assert overhead < 0.15, f"{model_name}: CRONUS NPU overhead {overhead:.1%}"
+
+
+def test_fig10b_ordering_and_table(benchmark, record_table):
+    def build():
+        rows = []
+        latencies = {}
+        for name in sorted(INFERENCE_GRAPHS):
+            npu_times, cpu_time = _measure(name)
+            latencies[name] = npu_times["cronus"]
+            rows.append(
+                [
+                    name,
+                    f"{npu_times['linux'] / 1000:.3f}",
+                    f"{npu_times['trustzone'] / 1000:.3f}",
+                    f"{npu_times['cronus'] / 1000:.3f}",
+                    f"{cpu_time / 1000:.3f}",
+                ]
+            )
+        # Model complexity ordering must hold (figure 10b's bar heights).
+        assert latencies["resnet18"] < latencies["resnet50"] < latencies["yolov3"]
+        return format_table(
+            ["model", "linux npu(ms)", "trustzone npu(ms)", "cronus npu(ms)", "cpu(ms)"],
+            rows,
+        )
+
+    record_table("fig10b_inference", run_once(benchmark, build))

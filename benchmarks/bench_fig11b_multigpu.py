@@ -1,0 +1,60 @@
+"""Figure 11b: data-parallel LeNet training across 1-4 GPUs with three
+gradient-exchange mechanisms.
+
+Paper shape: training time falls with more GPUs, and direct GPU-to-GPU
+sharing over the PCIe bus (CRONUS's trusted shared GPU memory) beats
+staging through secure memory, which beats encrypted exchange
+(HIX/Graviton-style).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table
+from repro.systems import CronusSystem, TestbedConfig
+from repro.workloads.distributed import MODES, data_parallel_train
+
+GPU_COUNTS = (1, 2, 4)
+
+
+def _grid():
+    results = {}
+    for mode in MODES:
+        for gpus in GPU_COUNTS:
+            system = CronusSystem(TestbedConfig(num_gpus=gpus))
+            results[(mode, gpus)] = data_parallel_train(system, gpus, mode)
+    return results
+
+
+def test_fig11b_grid(benchmark, record_table):
+    results = run_once(benchmark, _grid)
+
+    # Scaling: more GPUs -> less training time, for every mode.
+    for mode in MODES:
+        times = [results[(mode, g)].total_time_us for g in GPU_COUNTS]
+        assert times[0] > times[1] > times[2], f"{mode} does not scale"
+
+    # Mode ordering at every multi-GPU point: p2p < staging < encrypted.
+    for gpus in GPU_COUNTS[1:]:
+        p2p = results[("p2p", gpus)].total_time_us
+        staged = results[("secure-staging", gpus)].total_time_us
+        encrypted = results[("encrypted", gpus)].total_time_us
+        assert p2p < staged < encrypted, f"mode ordering broken at {gpus} GPUs"
+
+    # Convergence is identical regardless of transport.
+    losses = {round(results[(m, 2)].final_loss, 6) for m in MODES}
+    assert len(losses) == 1
+
+    rows = []
+    for mode in MODES:
+        rows.append(
+            [mode]
+            + [f"{results[(mode, g)].total_time_us / 1000:.2f}ms" for g in GPU_COUNTS]
+        )
+    record_table(
+        "fig11b_multigpu",
+        format_table(["mode"] + [f"{g} gpu" for g in GPU_COUNTS], rows),
+    )
+    benchmark.extra_info["p2p_4gpu_ms"] = round(
+        results[("p2p", 4)].total_time_us / 1000, 2
+    )

@@ -1,0 +1,62 @@
+"""Figure 7: Rodinia computation time, normalized to native execution.
+
+Paper claim: CRONUS incurs less than 7.1% extra computation time over
+native (gdev without TEE) and clearly beats HIX-TrustZone, whose encrypted
+lock-step RPC (one per hardware control message) dominates.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table, normalize
+from repro.systems import CronusSystem, HixTrustZone, MonolithicTrustZone, NativeLinux
+from repro.workloads.rodinia import RODINIA, all_kernels
+
+SYSTEMS = (NativeLinux, MonolithicTrustZone, HixTrustZone, CronusSystem)
+
+
+def _measure(bench_name: str):
+    times = {}
+    for cls in SYSTEMS:
+        system = cls()
+        runtime = system.runtime(cuda_kernels=all_kernels(), owner="rodinia")
+        start = system.clock.now
+        RODINIA[bench_name].run(runtime)
+        times[system.name] = system.clock.now - start
+        system.release(runtime)
+    return times
+
+
+@pytest.mark.parametrize("bench_name", sorted(RODINIA), ids=str)
+def test_fig7_rodinia(benchmark, bench_name):
+    times = run_once(benchmark, lambda: _measure(bench_name))
+    norm = normalize(times, "linux")
+    benchmark.extra_info.update({name: round(v, 4) for name, v in norm.items()})
+    # The paper's shape: CRONUS within 7.1% of native, HIX far behind.
+    assert norm["cronus"] - 1.0 < 0.071, f"{bench_name}: CRONUS {norm['cronus']:.3f}x"
+    assert norm["trustzone"] <= norm["cronus"] * 1.02
+    assert norm["hix-trustzone"] > norm["cronus"]
+
+
+def test_fig7_table(benchmark, record_table):
+    """Regenerate the full normalized-time table in one pass."""
+
+    def build():
+        rows = []
+        for name in sorted(RODINIA):
+            norm = normalize(_measure(name), "linux")
+            rows.append(
+                [
+                    name,
+                    f"{norm['linux']:.3f}",
+                    f"{norm['trustzone']:.3f}",
+                    f"{norm['cronus']:.3f}",
+                    f"{norm['hix-trustzone']:.3f}",
+                ]
+            )
+        return format_table(
+            ["bench", "linux", "trustzone", "cronus", "hix-trustzone"], rows
+        )
+
+    table = run_once(benchmark, build)
+    record_table("fig7_rodinia", table)

@@ -1,0 +1,76 @@
+"""Figure 8: DNN training time on CRONUS-PyTorch versus the baselines.
+
+LeNet-2 on MNIST, ResNet50 and VGG16 on CIFAR-10, DenseNet on ImageNet
+(synthetic stand-ins; see DESIGN.md).  The whole training program runs in
+the TEE, protecting both CPU and GPU computation.  Paper shape: CRONUS ~=
+TrustZone, both close to native Linux; HIX-TrustZone much slower.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table, normalize
+from repro.systems import CronusSystem, HixTrustZone, MonolithicTrustZone, NativeLinux
+from repro.workloads.datasets import synthetic_cifar10, synthetic_imagenet, synthetic_mnist
+from repro.workloads.dnn import MODEL_BUILDERS, TRAINING_KERNELS, train
+
+SYSTEMS = (NativeLinux, MonolithicTrustZone, HixTrustZone, CronusSystem)
+
+_DATASETS = {
+    "lenet": lambda: synthetic_mnist(32),
+    "resnet50": lambda: synthetic_cifar10(32),
+    "vgg16": lambda: synthetic_cifar10(32),
+    "densenet": lambda: synthetic_imagenet(16),
+}
+_BATCH = {"lenet": 16, "resnet50": 16, "vgg16": 16, "densenet": 8}
+
+
+def _measure(model_name: str):
+    times = {}
+    losses = {}
+    for cls in SYSTEMS:
+        system = cls()
+        runtime = system.runtime(cuda_kernels=TRAINING_KERNELS, owner="training")
+        model = MODEL_BUILDERS[model_name]()
+        data = _DATASETS[model_name]()
+        start = system.clock.now
+        history = train(runtime, model, data, epochs=1, batch_size=_BATCH[model_name])
+        times[system.name] = system.clock.now - start
+        losses[system.name] = history[-1]
+        model.free(runtime)
+        system.release(runtime)
+    return times, losses
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_BUILDERS), ids=str)
+def test_fig8_training(benchmark, model_name):
+    times, losses = run_once(benchmark, lambda: _measure(model_name))
+    norm = normalize(times, "linux")
+    benchmark.extra_info.update({name: round(v, 4) for name, v in norm.items()})
+    # Protection must not change the computation.
+    assert len(set(round(l, 6) for l in losses.values())) == 1
+    # Paper shape: CRONUS within 7.1% of native; HIX slower than CRONUS.
+    assert norm["cronus"] - 1.0 < 0.071, f"{model_name}: {norm['cronus']:.3f}x"
+    assert norm["hix-trustzone"] > norm["cronus"]
+
+
+def test_fig8_table(benchmark, record_table):
+    def build():
+        rows = []
+        for name in sorted(MODEL_BUILDERS):
+            times, _ = _measure(name)
+            norm = normalize(times, "linux")
+            rows.append(
+                [
+                    name,
+                    f"{times['linux'] / 1e6:.4f}s",
+                    f"{norm['trustzone']:.3f}",
+                    f"{norm['cronus']:.3f}",
+                    f"{norm['hix-trustzone']:.3f}",
+                ]
+            )
+        return format_table(
+            ["model", "linux(sim)", "trustzone", "cronus", "hix-trustzone"], rows
+        )
+
+    record_table("fig8_dnn_training", run_once(benchmark, build))

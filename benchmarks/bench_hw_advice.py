@@ -1,0 +1,99 @@
+"""Section VII-B: hardware advice for future TEEs, quantified.
+
+The paper proposes two new hardware primitives and argues they would help:
+
+* **Direct enclave switching** — removes most of the 4-context-switch cost
+  of entering a remote enclave.  We sweep ``partition_switch_us`` and show
+  it is what keeps the *synchronous* baseline slow, while sRPC is already
+  insensitive to it (that is the point of streaming).
+* **Hardware trusted TEE shared memory** — removes the SPM's stage-2
+  set-up from channel establishment.  We sweep ``stage2_map_us`` and show
+  it only affects channel-open latency, not the streaming fast path.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table
+from repro.sim.costs import CostModel
+from repro.systems import CronusSystem
+from repro.workloads.rodinia import RODINIA, all_kernels
+
+
+def _pathfinder_time(rpc_mode: str, costs: CostModel) -> float:
+    system = CronusSystem(costs=costs, rpc_mode=rpc_mode)
+    rt = system.runtime(cuda_kernels=all_kernels(), owner="advice")
+    start = system.clock.now
+    RODINIA["pathfinder"].run(rt)
+    elapsed = system.clock.now - start
+    system.release(rt)
+    return elapsed
+
+
+def test_direct_enclave_switching(benchmark, record_table):
+    """Cheaper context switches rescue sync RPC but barely move sRPC."""
+
+    def build():
+        rows = []
+        gains = {}
+        for switch_us in (10.0, 2.0, 0.5):
+            costs = CostModel().with_overrides(partition_switch_us=switch_us)
+            srpc = _pathfinder_time("srpc", costs)
+            sync = _pathfinder_time("sync", costs)
+            gains[switch_us] = (srpc, sync)
+            rows.append(
+                [f"{switch_us:.1f}", f"{srpc / 1000:.2f}", f"{sync / 1000:.2f}",
+                 f"{sync / srpc:.2f}x"]
+            )
+        return gains, format_table(
+            ["switch (us)", "sRPC (ms)", "sync RPC (ms)", "sync/sRPC"], rows
+        )
+
+    gains, table = run_once(benchmark, build)
+    record_table("hw_advice_direct_switching", table)
+
+    srpc_10, sync_10 = gains[10.0]
+    srpc_05, sync_05 = gains[0.5]
+    # Sync RPC improves a lot with the proposed hardware...
+    assert sync_05 < 0.9 * sync_10
+    # ...while sRPC already streamed the switches away (< 2% sensitivity).
+    assert abs(srpc_05 - srpc_10) / srpc_10 < 0.02
+    # With near-free switches the two converge (the advice's end state).
+    assert sync_05 / srpc_05 < sync_10 / srpc_10
+
+
+def test_hardware_trusted_shared_memory(benchmark, record_table):
+    """Hardware smem setup cuts channel-open cost, not the fast path."""
+
+    def _open_and_stream(stage2_map_us: float):
+        costs = CostModel().with_overrides(stage2_map_us=stage2_map_us)
+        system = CronusSystem(costs=costs)
+        start = system.clock.now
+        rt = system.runtime(cuda_kernels=("vecadd",), owner="advice")
+        setup = system.clock.now - start
+        a = rt.cudaMalloc((64,))
+        start = system.clock.now
+        for _ in range(32):
+            rt.cudaLaunchKernel("vecadd", [a, a, a])
+        stream = system.clock.now - start
+        system.release(rt)
+        return setup, stream
+
+    def build():
+        rows = []
+        points = {}
+        for map_us in (2.0, 0.1):
+            setup, stream = _open_and_stream(map_us)
+            points[map_us] = (setup, stream)
+            rows.append([f"{map_us:.1f}", f"{setup:.1f}", f"{stream:.1f}"])
+        return points, format_table(
+            ["stage2 map (us)", "channel setup (us)", "stream 32 calls (us)"], rows
+        )
+
+    points, table = run_once(benchmark, build)
+    record_table("hw_advice_trusted_smem", table)
+
+    setup_slow, stream_slow = points[2.0]
+    setup_fast, stream_fast = points[0.1]
+    assert setup_fast < setup_slow  # hardware smem helps establishment
+    assert stream_fast == pytest.approx(stream_slow, rel=0.01)  # fast path unchanged

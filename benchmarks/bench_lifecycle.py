@@ -1,0 +1,84 @@
+"""Lifecycle latencies: the costs the architecture is designed around.
+
+The paper makes several structural timing arguments:
+
+* mOSes boot at system startup, "so mEnclaves do not need to wait for
+  their bootups" (section III-A) — enclave creation must be orders of
+  magnitude cheaper than an mOS load;
+* clients attest the platform once; later accelerator mEnclaves comply via
+  automatic *local* attestation (section IV-A) — channel setup must stay
+  cheap relative to remote attestation round trips;
+* VM-based TEEs are dismissed because "the bootup time of a VM is too long
+  for short-duration tasks" (section II-B) — the mEnclave path must make
+  short tasks viable.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.enclave.images import CudaImage
+from repro.enclave.manifest import Manifest
+from repro.enclave.models import CUDA_MECALLS
+from repro.metrics import format_table
+from repro.systems import CronusSystem
+
+
+def _lifecycle_costs():
+    system = CronusSystem()
+    costs = system.platform.costs
+    app = system.application("lifecycle")
+
+    image = CudaImage(name="lc", kernels=("vecadd",))
+    manifest = Manifest(
+        device_type="gpu", images={"lc.cubin": image.digest()}, mecalls=CUDA_MECALLS
+    )
+
+    start = system.clock.now
+    first = app.create_enclave(manifest, image, "lc.cubin")
+    create_us = system.clock.now - start
+
+    cpu_rt_start = system.clock.now
+    runtime = system.runtime(cuda_kernels=("vecadd",), owner="lifecycle-rt")
+    partitioned_us = system.clock.now - cpu_rt_start
+    system.release(runtime)
+
+    from repro.enclave.images import CpuImage
+    from repro.enclave.manifest import MECallSpec
+
+    cpu_image = CpuImage(name="lcc", functions={"noop": lambda s: None})
+    cpu_manifest = Manifest(
+        device_type="cpu", images={"lcc.so": cpu_image.digest()},
+        mecalls=(MECallSpec("noop"),),
+    )
+    caller = app.create_enclave(cpu_manifest, cpu_image, "lcc.so")
+    start = system.clock.now
+    channel = app.open_channel(caller, first)
+    channel_us = system.clock.now - start
+    channel.close()
+
+    start = system.clock.now
+    system.attest_platform()
+    remote_attest_us = system.clock.now - start
+
+    return {
+        "mOS load (startup only)": costs.mos_reload_us,
+        "mEnclave create": create_us,
+        "sRPC channel open (local attest + smem + dCheck)": channel_us,
+        "full heterogeneous runtime (2 enclaves + channel)": partitioned_us,
+        "remote platform attestation": remote_attest_us,
+    }
+
+
+def test_lifecycle_costs(benchmark, record_table):
+    costs = run_once(benchmark, _lifecycle_costs)
+
+    # mEnclaves never wait for an mOS boot: creation is ~400x cheaper.
+    assert costs["mEnclave create"] * 100 < costs["mOS load (startup only)"]
+    # Channel setup is dominated by one local attestation, far below an
+    # mOS load, keeping short-duration tasks viable.
+    assert costs["sRPC channel open (local attest + smem + dCheck)"] < 1_000
+    assert costs["full heterogeneous runtime (2 enclaves + channel)"] < 5_000
+
+    rows = [[name, f"{us:,.1f}"] for name, us in costs.items()]
+    record_table("lifecycle_costs", format_table(["operation", "simulated us"], rows))
+    benchmark.extra_info.update({k: round(v, 1) for k, v in costs.items()})

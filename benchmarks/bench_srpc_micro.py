@@ -1,0 +1,92 @@
+"""sRPC microbenchmark (section IV-C's motivation).
+
+Per-call cost of the three inter-enclave RPC protocols for a stream of
+asynchronous mECalls: sRPC over trusted shared memory versus synchronous
+lock-step RPC versus HIX-style encrypted RPC.  This is the mechanism
+behind every figure-7/8 gap.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.enclave.images import CpuImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.metrics import format_table
+from repro.rpc import EncryptedRpcChannel, SyncRpcChannel
+from repro.rpc.channel import EnclaveEndpoint
+from repro.systems import CronusSystem
+
+CALLS = 64
+
+
+def _victim(cronus, *, synchronous: bool):
+    app = cronus.application("micro")
+    image = CpuImage(name="micro", functions={"work": lambda state, i: None})
+    manifest = Manifest(
+        device_type="cpu",
+        images={"micro.so": image.digest()},
+        mecalls=(MECallSpec("work", synchronous=synchronous),),
+    )
+    return app, app.create_enclave(manifest, image, "micro.so")
+
+
+def _srpc_cost():
+    cronus = CronusSystem()
+    app, handle = _victim(cronus, synchronous=False)
+    caller_app, caller = _victim(cronus, synchronous=False)[0], None
+    # Caller is another CPU mEnclave (intra-mOS stream).
+    caller = app.create_enclave(
+        Manifest(
+            device_type="cpu",
+            images={"micro.so": CpuImage(name="micro", functions={"work": lambda s, i: None}).digest()},
+            mecalls=(MECallSpec("work", synchronous=False),),
+        ),
+        CpuImage(name="micro", functions={"work": lambda s, i: None}),
+        "micro.so",
+    )
+    channel = app.open_channel(caller, handle)
+    channel.call("work", 0)  # warm-up (thread spawn)
+    start = cronus.clock.now
+    for i in range(CALLS):
+        channel.call("work", i)
+    per_call = (cronus.clock.now - start) / CALLS
+    channel.close()
+    return per_call
+
+
+def _baseline_cost(channel_cls):
+    cronus = CronusSystem()
+    _, handle = _victim(cronus, synchronous=True)
+    channel = channel_cls(
+        EnclaveEndpoint(enclave=None, mos=handle.mos),
+        handle.endpoint(),
+        handle.secret,
+    )
+    start = cronus.clock.now
+    for i in range(CALLS):
+        channel.call("work", i)
+    return (cronus.clock.now - start) / CALLS
+
+
+def test_srpc_vs_baselines(benchmark, record_table):
+    def build():
+        return {
+            "sRPC (trusted smem)": _srpc_cost(),
+            "sync RPC (lock-step)": _baseline_cost(SyncRpcChannel),
+            "encrypted RPC (HIX)": _baseline_cost(EncryptedRpcChannel),
+        }
+
+    costs = run_once(benchmark, build)
+    srpc = costs["sRPC (trusted smem)"]
+    sync = costs["sync RPC (lock-step)"]
+    encrypted = costs["encrypted RPC (HIX)"]
+
+    assert srpc < sync < encrypted
+    assert sync / srpc > 5.0, f"sRPC speedup only {sync / srpc:.1f}x over sync"
+
+    benchmark.extra_info.update({k: round(v, 3) for k, v in costs.items()})
+    rows = [[name, f"{v:.3f}", f"{v / srpc:.1f}x"] for name, v in costs.items()]
+    record_table(
+        "srpc_microbenchmark",
+        format_table(["protocol", "us/call", "vs sRPC"], rows),
+    )

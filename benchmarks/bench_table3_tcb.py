@@ -1,0 +1,23 @@
+"""Table III: per-mOS trusted computing base versus a monolithic OS.
+
+The paper's point: with CRONUS a tenant trusts only the mOS of the device
+it uses, a fraction of the monolithic secure OS that bundles every driver.
+We regenerate the table over this repository's own modules.
+"""
+
+from benchmarks.conftest import run_once
+from repro.metrics import format_table, tcb_report
+
+
+def test_table3_tcb(benchmark, record_table):
+    report = run_once(benchmark, tcb_report)
+
+    monolithic = report["monolithic OS (all stacks)"]
+    for device in ("cpu", "gpu", "npu"):
+        tenant = report[f"tenant TCB ({device})"]
+        assert tenant < monolithic, f"{device} tenant TCB not reduced"
+
+    rows = [[group, loc] for group, loc in sorted(report.items())]
+    record_table("table3_tcb", format_table(["component", "LoC"], rows))
+    benchmark.extra_info["monolithic_loc"] = monolithic
+    benchmark.extra_info["gpu_tenant_loc"] = report["tenant TCB (gpu)"]

@@ -1,0 +1,42 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one table or figure of the paper.  The measured
+quantity is *simulated* time (deterministic, host-speed independent), so
+every benchmark runs its scenario once via ``benchmark.pedantic`` and
+attaches the regenerated rows/series to ``extra_info``; the same table is
+also written to ``benchmarks/results/<experiment>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.workloads  # noqa: F401  (registers the CUDA kernels)
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write one experiment's regenerated table to the results directory."""
+
+    def _record(experiment: str, text: str) -> None:
+        path = os.path.join(results_dir, f"{experiment}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text.rstrip() + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation scenario exactly once under the
+    pytest-benchmark fixture and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

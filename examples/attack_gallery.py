@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Attack gallery: every in-scope attack from the threat model, live.
+
+Runs the complete adversary battery against fresh CRONUS systems — from a
+normal world reading secure DRAM, through RPC replay/reorder/drop/tamper,
+to the three failure-time attacks (TOCTOU, deadlock, crashed-information
+leak) — and prints how each was blocked.
+
+Run:  python examples/attack_gallery.py
+"""
+
+import repro.workloads  # registers kernels
+from repro.attacks import run_all_attacks
+
+
+def main() -> None:
+    outcomes = run_all_attacks()
+    width = max(len(o.name) for o in outcomes)
+    blocked = 0
+    for outcome in outcomes:
+        status = "BLOCKED" if outcome.blocked else "** BREACH **"
+        blocked += outcome.blocked
+        print(f"{outcome.name:<{width}}  {status:12s}  {outcome.detail}")
+    print()
+    print(f"{blocked}/{len(outcomes)} attacks blocked")
+    if blocked != len(outcomes):
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

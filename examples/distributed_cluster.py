@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Distributed CRONUS (the section VII-C extension).
+
+Four CRONUS machines mesh-attest each other, train LeNet data-parallel
+with encrypted cross-node gradient exchange, and survive a node failure
+mid-run by rebalancing onto the surviving attested nodes.
+
+Run:  python examples/distributed_cluster.py
+"""
+
+import repro.workloads  # registers kernels
+from repro.cluster import Cluster, distributed_train
+from repro.metrics import format_table
+
+
+def scaling() -> None:
+    rows = []
+    for nodes in (1, 2, 4):
+        cluster = Cluster(num_nodes=4)
+        result = distributed_train(cluster, nodes=nodes, total_samples=128)
+        rows.append(
+            [
+                nodes,
+                f"{result.total_time_us / 1000:.2f} ms",
+                f"{result.comm_time_us / 1000:.2f} ms",
+                f"{result.final_loss:.3f}",
+            ]
+        )
+    print("LeNet, 128 samples, data-parallel across machines:")
+    print(format_table(["nodes", "train time", "comm (encrypted)", "loss"], rows))
+    print()
+
+
+def failure() -> None:
+    cluster = Cluster(num_nodes=3)
+    result = distributed_train(
+        cluster, nodes=3, total_samples=144, fail_node_at_step=1
+    )
+    dead = [n.name for n in cluster.nodes if not n.alive]
+    print(
+        f"node {dead[0]} died after step 1 -> shard rebalanced onto survivors; "
+        f"job finished in {result.steps} steps "
+        f"({result.total_time_us / 1000:.2f} ms), {result.reschedules} reschedule"
+    )
+
+
+if __name__ == "__main__":
+    scaling()
+    failure()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Failover demo (figure 9): crash one partition, watch the other keep going.
+
+Two matrix-computing tasks run on two GPUs in two S-EL2 partitions.  At
+t = 1 s the first partition is crashed; CRONUS's proceed-trap recovery
+restarts only that partition's mOS and the task is resubmitted, while the
+second task never stops.
+
+Run:  python examples/failover_demo.py
+"""
+
+import repro.workloads  # registers kernels
+from repro.faults import run_failover_experiment
+
+
+def sparkline(values, peak) -> str:
+    blocks = " .:-=+*#"
+    return "".join(
+        blocks[min(len(blocks) - 1, int(v / max(peak, 1) * (len(blocks) - 1)))]
+        for v in values
+    )
+
+
+def main() -> None:
+    result = run_failover_experiment(
+        duration_us=3_000_000.0, crash_at_us=1_000_000.0, bucket_us=100_000.0
+    )
+    a = result.throughput["task-a"]
+    b = result.throughput["task-b"]
+    peak = max(max(a), max(b))
+    crash_bucket = int(result.crash_at_us / result.bucket_us)
+
+    print("throughput over time (each column = 100 ms):")
+    print(f"  task-a (crashed): |{sparkline(a, peak)}|")
+    print(f"  task-b (healthy): |{sparkline(b, peak)}|")
+    print(f"                     {' ' * crash_bucket}^ crash")
+    print()
+    print(f"recovery (invalidate + clear + mOS reload): {result.recovery_us / 1000:.1f} ms")
+    print(f"task resubmission after recovery:           {result.resubmit_us / 1000:.2f} ms")
+    print("a cold machine reboot (every baseline):      ~120 s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""NPU inference through the TVM-lite pipeline (figure 10b).
+
+Compiles three quantized DNN graphs (ResNet18/50 and YoloV3 analogs) to
+VTA instruction programs, deploys them into an NPU mEnclave on CRONUS, and
+measures inference latency on the NPU and on the CPU.
+
+Run:  python examples/npu_inference.py
+"""
+
+import numpy as np
+
+import repro.workloads  # registers kernels
+from repro import CronusSystem
+from repro.metrics import format_table
+from repro.workloads.tvm import INFERENCE_GRAPHS, compile_graph, reference
+
+
+def main() -> None:
+    rows = []
+    for name in ("resnet18", "resnet50", "yolov3"):
+        graph = INFERENCE_GRAPHS[name]()
+        module = compile_graph(graph)
+
+        system = CronusSystem()
+        rt = system.runtime(npu_programs=module.programs, owner="tvm")
+        module.deploy(rt)
+
+        x = np.random.default_rng(7).integers(
+            -8, 8, (1, graph.input_features)
+        ).astype(np.int8)
+
+        start = system.clock.now
+        out = module.run(rt, x)
+        npu_ms = (system.clock.now - start) / 1000
+
+        assert np.array_equal(out, reference(module, x)), "inference diverged!"
+
+        start = system.clock.now
+        module.run_on_cpu(rt, x)
+        cpu_ms = (system.clock.now - start) / 1000
+
+        rows.append([name, len(graph.layers), f"{npu_ms:.2f}", f"{cpu_ms:.2f}"])
+        system.release(rt)
+
+    print("Inference latency on CRONUS (simulated):")
+    print(format_table(["model", "layers", "NPU (ms)", "CPU (ms)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setuptools shim for environments without PEP 517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CRONUS (MICRO 2022) reproduction: fault-isolated, secure, "
+        "high-performance heterogeneous TEE as a full-system simulation"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

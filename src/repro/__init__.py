@@ -1,0 +1,51 @@
+"""repro: a full-system reproduction of CRONUS (MICRO 2022).
+
+CRONUS partitions heterogeneous TEE computation into per-device
+MicroEnclaves inside isolated S-EL2 partitions, connected by a streaming
+RPC protocol over trusted shared memory, with a proceed-trap failover that
+restarts only the faulty partition.  This package implements the whole
+stack as a deterministic full-system simulation: the TrustZone hardware
+primitives, the secure world (monitor + SPM), MicroOSes and MicroEnclaves,
+sRPC, accelerator simulators that really compute, the paper's baselines,
+workloads and attack harness.
+
+Quick start::
+
+    from repro import CronusSystem
+    import repro.workloads  # registers the CUDA kernel library
+
+    system = CronusSystem()
+    rt = system.runtime(cuda_kernels=("matmul",), owner="demo")
+    a = rt.cudaMalloc((64, 64))
+    ...
+    system.release(rt)
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for every regenerated table and figure.
+"""
+
+from repro.sim import CostModel, SimClock, Timeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "SimClock",
+    "Timeline",
+    "CronusSystem",
+    "HixTrustZone",
+    "MonolithicTrustZone",
+    "NativeLinux",
+    "TestbedConfig",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    """Lazy system imports keep ``import repro`` light and cycle-free."""
+    if name in ("CronusSystem", "HixTrustZone", "MonolithicTrustZone",
+                "NativeLinux", "TestbedConfig"):
+        import repro.systems as systems
+
+        return getattr(systems, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

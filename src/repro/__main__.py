@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Quick entry points for the common flows without writing a script:
+
+* ``attest``   — boot a system, produce and verify a platform report.
+* ``attacks``  — run the full adversary battery.
+* ``rodinia``  — figure 7: Rodinia across all four systems.
+* ``train``    — figure 8: LeNet training across all four systems.
+* ``failover`` — figure 9: two-task crash/recover timeline.
+* ``tcb``      — table III: per-tenant TCB accounting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_attest(_args) -> int:
+    from repro import CronusSystem
+    from repro.secure.monitor import verify_attestation_report
+
+    system = CronusSystem()
+    report = system.attest_platform()
+    verify_attestation_report(
+        report,
+        system.platform.attestation_service.public,
+        {name: ca.public for name, ca in system.platform.vendors.items()},
+        {
+            d.name: d.vendor_cert
+            for d in system.platform.devices()
+            if d.vendor_cert is not None and d.device_type != "cpu"
+        },
+    )
+    print("attestation verified")
+    for name, digest in sorted(report.mos_hashes.items()):
+        print(f"  {name}: {digest[:24]}...")
+    return 0
+
+
+def _cmd_attacks(_args) -> int:
+    from repro.attacks import run_all_attacks
+
+    outcomes = run_all_attacks()
+    width = max(len(o.name) for o in outcomes)
+    for o in outcomes:
+        print(f"{o.name:<{width}}  {'BLOCKED' if o.blocked else 'BREACH':8s}  {o.detail}")
+    failed = [o for o in outcomes if not o.blocked]
+    print(f"\n{len(outcomes) - len(failed)}/{len(outcomes)} blocked")
+    return 1 if failed else 0
+
+
+def _cmd_rodinia(args) -> int:
+    from repro.metrics import format_table, normalize
+    from repro.systems import CronusSystem, HixTrustZone, MonolithicTrustZone, NativeLinux
+    from repro.workloads.rodinia import RODINIA, all_kernels
+
+    names = args.bench or sorted(RODINIA)
+    rows = []
+    for name in names:
+        times = {}
+        for cls in (NativeLinux, MonolithicTrustZone, HixTrustZone, CronusSystem):
+            system = cls()
+            rt = system.runtime(cuda_kernels=all_kernels(), owner="cli")
+            start = system.clock.now
+            RODINIA[name].run(rt)
+            times[system.name] = system.clock.now - start
+            system.release(rt)
+        norm = normalize(times, "linux")
+        rows.append([name] + [f"{norm[k]:.3f}" for k in
+                              ("linux", "trustzone", "cronus", "hix-trustzone")])
+    print(format_table(["bench", "linux", "trustzone", "cronus", "hix"], rows))
+    return 0
+
+
+def _cmd_train(_args) -> int:
+    from repro.metrics import format_table, normalize
+    from repro.systems import CronusSystem, HixTrustZone, MonolithicTrustZone, NativeLinux
+    from repro.workloads.datasets import synthetic_mnist
+    from repro.workloads.dnn import TRAINING_KERNELS, lenet, train
+
+    data = synthetic_mnist(64)
+    times = {}
+    for cls in (NativeLinux, MonolithicTrustZone, HixTrustZone, CronusSystem):
+        system = cls()
+        rt = system.runtime(cuda_kernels=TRAINING_KERNELS, owner="cli")
+        model = lenet()
+        start = system.clock.now
+        train(rt, model, data, epochs=1, batch_size=16)
+        times[system.name] = system.clock.now - start
+        model.free(rt)
+        system.release(rt)
+    norm = normalize(times, "linux")
+    rows = [[k, f"{times[k] / 1000:.2f} ms", f"{norm[k]:.3f}x"] for k in times]
+    print(format_table(["system", "time", "vs native"], rows))
+    return 0
+
+
+def _cmd_failover(_args) -> int:
+    from repro.faults import run_failover_experiment
+
+    result = run_failover_experiment()
+    print(f"recovery: {result.recovery_us / 1000:.1f} ms; "
+          f"resubmit: {result.resubmit_us / 1000:.2f} ms; reboot baseline: 120 s")
+    print("task-a:", result.throughput["task-a"])
+    print("task-b:", result.throughput["task-b"])
+    return 0
+
+
+def _cmd_tcb(_args) -> int:
+    from repro.metrics import format_table, tcb_report
+
+    report = tcb_report()
+    print(format_table(["component", "LoC"], sorted(report.items())))
+    return 0
+
+
+def _cmd_trace(_args) -> int:
+    """Run a small traced scenario and dump the event log."""
+    import numpy as np
+
+    from repro import CronusSystem
+
+    system = CronusSystem(trace=True)
+    rt = system.runtime(cuda_kernels=("vecadd",), owner="traced")
+    a = rt.cudaMalloc((16,))
+    rt.cudaMemcpyH2D(a, np.ones(16, np.float32))
+    rt.cudaLaunchKernel("vecadd", [a, a, a])
+    rt.cudaDeviceSynchronize()
+    system.fail_partition("gpu0")
+    try:
+        rt.cudaMalloc((16,))
+    except Exception:
+        pass  # expected: the stream observes the failure and traps
+    for event in system.platform.tracer.events():
+        print(event)
+    return 0
+
+
+_COMMANDS = {
+    "attest": _cmd_attest,
+    "attacks": _cmd_attacks,
+    "rodinia": _cmd_rodinia,
+    "train": _cmd_train,
+    "failover": _cmd_failover,
+    "tcb": _cmd_tcb,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="CRONUS reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        cmd = sub.add_parser(name)
+        if name == "rodinia":
+            cmd.add_argument("bench", nargs="*", help="bench names (default: all)")
+    args = parser.parse_args(argv)
+
+    import repro.workloads  # noqa: F401  (registers kernels)
+
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Device simulators: the accelerators CRONUS manages.
+
+* :mod:`repro.accel.gpu` — a CUDA-capable discrete GPU (GTX 2080 stand-in)
+  with per-context virtual memory isolation, asynchronous streams, a kernel
+  registry executed with numpy, and an MPS-style spatial sharing model.
+* :mod:`repro.accel.npu` — a VTA-compatible NPU: a LOAD/GEMM/ALU/STORE
+  instruction set executed functionally on int8/int32 numpy tensors,
+  mirroring TVM's ``fsim``.
+* :mod:`repro.accel.cpu` — the secure-world CPU cluster as an executor of
+  registered functions.
+
+All compute is *real* (results are checked by tests); time is charged to
+the simulated clock via the cost model.
+"""
+
+from repro.accel.cpu import CpuDevice
+from repro.accel.gpu import GpuContext, GpuDevice, GpuError, KERNEL_REGISTRY, register_kernel
+from repro.accel.npu import (
+    NpuDevice,
+    NpuError,
+    NpuProgram,
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_MUL,
+    OP_SHR,
+    alu,
+    finish,
+    gemm,
+    load,
+    store,
+)
+
+__all__ = [
+    "CpuDevice",
+    "GpuContext",
+    "GpuDevice",
+    "GpuError",
+    "KERNEL_REGISTRY",
+    "register_kernel",
+    "NpuDevice",
+    "NpuError",
+    "NpuProgram",
+    "OP_ADD",
+    "OP_MAX",
+    "OP_MIN",
+    "OP_MUL",
+    "OP_SHR",
+    "alu",
+    "finish",
+    "gemm",
+    "load",
+    "store",
+]

@@ -1,0 +1,55 @@
+"""Secure-world CPU cluster as an executor.
+
+A CPU mEnclave executes functions from its loaded image (a dynamic library
+in the paper; registered python callables here).  The CPU charges time from
+an explicit flop estimate, so CPU-side work (data decode, loss computation,
+optimizer steps) competes realistically with accelerator offload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.hw.devices import Device, MMIORegion
+from repro.sim import CostModel, SimClock
+
+
+class CpuDevice(Device):
+    """The CPU 'device': synchronous execution with flop-based timing."""
+
+    device_type = "cpu"
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        costs: CostModel,
+        *,
+        mmio: MMIORegion,
+        irq: int,
+        vendor=None,
+        cores: int = 4,
+    ) -> None:
+        super().__init__(name, mmio=mmio, irq=irq, vendor=vendor)
+        self.clock = clock
+        self.costs = costs
+        self.cores = cores
+        self.calls_executed = 0
+
+    def execute(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        flops: float = 0.0,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn`` synchronously, charging ``flops`` of CPU time."""
+        self.calls_executed += 1
+        if flops:
+            self.clock.advance(flops / self.costs.cpu_flops_per_us)
+        return fn(*args, **kwargs)
+
+    def clear_state(self) -> int:
+        """CPU register/cache state has nothing persistent to scrub."""
+        super().clear_state()
+        return 0

@@ -1,0 +1,288 @@
+"""VTA-compatible NPU simulator.
+
+TVM's VTA accelerator executes a small instruction set over on-chip
+scratchpads: LOAD (DRAM -> scratchpad), GEMM (int8 matrix multiply into an
+int32 accumulator), ALU (add / mul / shift / min / max on the accumulator),
+and STORE (scratchpad -> DRAM).  CRONUS builds its NPU mEnclave from VTA's
+``fsim`` functional simulator (paper section V-B); this module is our fsim.
+
+Programs are instruction lists over named DRAM tensors.  Execution is
+functional (numpy int8/int32 semantics, saturation on store) and charges
+simulated time per instruction plus per-MAC throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hw.devices import Device, MMIORegion
+from repro.sim import CostModel, SimClock, Timeline
+
+
+class NpuError(Exception):
+    """Invalid NPU program or tensor reference."""
+
+
+# ALU opcodes (mirroring VTA's).
+OP_ADD = "add"
+OP_MUL = "mul"
+OP_SHR = "shr"
+OP_MAX = "max"
+OP_MIN = "min"
+
+_SCRATCHPADS = ("inp", "wgt", "acc")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One NPU instruction; fields are interpreted per opcode."""
+
+    op: str
+    dst: str = ""
+    src: str = ""
+    imm: Optional[int] = None
+    use_imm: bool = False
+
+
+def load(scratchpad: str, tensor: str) -> Instruction:
+    """LOAD a DRAM tensor into a scratchpad ('inp', 'wgt' or 'acc')."""
+    if scratchpad not in _SCRATCHPADS:
+        raise NpuError(f"unknown scratchpad {scratchpad!r}")
+    return Instruction(op="load", dst=scratchpad, src=tensor)
+
+
+def gemm() -> Instruction:
+    """acc += inp (int8) @ wgt.T (int8), accumulated in int32."""
+    return Instruction(op="gemm")
+
+
+def alu(opcode: str, *, src: str = "acc", imm: Optional[int] = None) -> Instruction:
+    """Elementwise ALU op on the accumulator.
+
+    With ``imm`` the second operand is an immediate; otherwise it is the
+    scratchpad named by ``src`` (loaded via ``load('acc', ...)`` semantics
+    is approximated by tensor-shaped broadcast).
+    """
+    if opcode not in (OP_ADD, OP_MUL, OP_SHR, OP_MAX, OP_MIN):
+        raise NpuError(f"unknown ALU opcode {opcode!r}")
+    return Instruction(op="alu:" + opcode, src=src, imm=imm, use_imm=imm is not None)
+
+
+def store(tensor: str) -> Instruction:
+    """STORE the accumulator to a DRAM tensor (saturating int8 if the
+    destination dtype is int8, raw int32 otherwise)."""
+    return Instruction(op="store", dst=tensor)
+
+
+def finish() -> Instruction:
+    """FINISH: fence marking program completion."""
+    return Instruction(op="finish")
+
+
+@dataclass
+class NpuProgram:
+    """A compiled NPU program: instructions over named DRAM tensors.
+
+    ``sim_scale`` multiplies the modelled MAC count without changing the
+    functional effect — programs compute on scaled-down tensors but are
+    timed at the paper's layer sizes (see DESIGN.md).
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    sim_scale: float = 1.0
+
+    def append(self, instruction: Instruction) -> "NpuProgram":
+        self.instructions.append(instruction)
+        return self
+
+    def macs(self, tensors: Dict[str, np.ndarray]) -> int:
+        """Total multiply-accumulate count, for the timing model."""
+        total = 0
+        inp_shape = wgt_shape = None
+        for ins in self.instructions:
+            if ins.op == "load" and ins.dst == "inp":
+                inp_shape = tensors[ins.src].shape
+            elif ins.op == "load" and ins.dst == "wgt":
+                wgt_shape = tensors[ins.src].shape
+            elif ins.op == "gemm" and inp_shape and wgt_shape:
+                total += inp_shape[0] * wgt_shape[0] * wgt_shape[1]
+        return total
+
+
+class _NamespaceView:
+    """Read-only mapping view of one tenant's tensors (used by macs())."""
+
+    def __init__(self, dram: Dict[str, np.ndarray], prefix: str) -> None:
+        self._dram = dram
+        self._prefix = prefix
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._dram[self._prefix + name]
+
+
+class NpuContext:
+    """A per-tenant NPU namespace.
+
+    The paper's NPU "enforces isolated concurrent NPU code execution
+    within the device using virtual memory" (section V-B): each mEnclave's
+    tensors live in a private namespace, so one tenant can never name
+    another's data.
+    """
+
+    def __init__(self, device: "NpuDevice", context_id: int, owner: str) -> None:
+        self._device = device
+        self.context_id = context_id
+        self.owner = owner
+        self.prefix = f"ctx{context_id}/"
+
+    def write_tensor(self, name: str, array: np.ndarray) -> None:
+        self._device.write_tensor(name, array, namespace=self.prefix)
+
+    def read_tensor(self, name: str) -> np.ndarray:
+        return self._device.read_tensor(name, namespace=self.prefix)
+
+    def run(self, program: "NpuProgram") -> float:
+        return self._device.run(program, namespace=self.prefix)
+
+    def synchronize(self) -> float:
+        return self._device.synchronize()
+
+
+class NpuDevice(Device):
+    """The NPU: scratchpads + an instruction interpreter on a timeline."""
+
+    device_type = "npu"
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        costs: CostModel,
+        *,
+        mmio: MMIORegion,
+        irq: int,
+        vendor=None,
+        memory_bytes: int = 256 << 20,
+    ) -> None:
+        super().__init__(name, mmio=mmio, irq=irq, vendor=vendor, memory_bytes=memory_bytes)
+        self.clock = clock
+        self.costs = costs
+        self.queue = Timeline(clock, name=f"{name}/queue")
+        self._dram: Dict[str, np.ndarray] = {}
+        self._next_context = 1
+        self.programs_run = 0
+
+    # -- tenant contexts ------------------------------------------------------
+    def create_context(self, owner: str) -> NpuContext:
+        """A private tensor namespace for one mEnclave (section V-B)."""
+        context = NpuContext(self, self._next_context, owner)
+        self._next_context += 1
+        return context
+
+    # -- DRAM tensors -------------------------------------------------------
+    def write_tensor(self, name: str, array: np.ndarray, *, namespace: str = "") -> None:
+        """Place a tensor into NPU-visible DRAM (charged as DMA)."""
+        self.clock.advance(
+            self.costs.copy_cost_us(array.nbytes, per_kib=self.costs.pcie_dma_us_per_kib)
+        )
+        self._dram[namespace + name] = np.array(array, copy=True)
+
+    def read_tensor(self, name: str, *, namespace: str = "") -> np.ndarray:
+        """Read a tensor back (joins the queue first, then DMA)."""
+        self.queue.join()
+        array = self._tensor(name, namespace)
+        self.clock.advance(
+            self.costs.copy_cost_us(array.nbytes, per_kib=self.costs.pcie_dma_us_per_kib)
+        )
+        return array.copy()
+
+    def _tensor(self, name: str, namespace: str = "") -> np.ndarray:
+        try:
+            return self._dram[namespace + name]
+        except KeyError:
+            raise NpuError(f"no tensor named {name!r} in NPU DRAM") from None
+
+    # -- execution ------------------------------------------------------------
+    def run(self, program: NpuProgram, namespace: str = "") -> float:
+        """Execute ``program``; returns its completion time on the queue.
+
+        Functional effects (tensor stores) happen eagerly; timing is queued
+        so callers overlap with the device exactly as with the GPU streams.
+        Tensor names resolve inside ``namespace`` (tenant isolation).
+        """
+        inp = wgt = acc = None
+        alu_ops = 0
+        for ins in program.instructions:
+            if ins.op == "load":
+                tensor = self._tensor(ins.src, namespace)
+                if ins.dst == "inp":
+                    inp = tensor.astype(np.int8, copy=True)
+                elif ins.dst == "wgt":
+                    wgt = tensor.astype(np.int8, copy=True)
+                else:
+                    acc = tensor.astype(np.int32, copy=True)
+            elif ins.op == "gemm":
+                if inp is None or wgt is None:
+                    raise NpuError("GEMM before loading inp/wgt scratchpads")
+                product = inp.astype(np.int32) @ wgt.astype(np.int32).T
+                acc = product if acc is None else acc + product
+            elif ins.op.startswith("alu:"):
+                if acc is None:
+                    raise NpuError("ALU op before the accumulator holds data")
+                acc = self._alu(ins, acc, namespace)
+                alu_ops += acc.size
+            elif ins.op == "store":
+                if acc is None:
+                    raise NpuError("STORE before the accumulator holds data")
+                dst = self._dram.get(namespace + ins.dst)
+                if dst is not None and dst.dtype == np.int8:
+                    self._dram[namespace + ins.dst] = np.clip(acc, -128, 127).astype(np.int8)
+                else:
+                    self._dram[namespace + ins.dst] = acc.astype(np.int32)
+            elif ins.op == "finish":
+                break
+            else:
+                raise NpuError(f"unknown instruction {ins.op!r}")
+
+        work = (program.macs(_NamespaceView(self._dram, namespace)) + alu_ops) * program.sim_scale
+        duration = (
+            len(program.instructions) * self.costs.npu_instr_us
+            + work / self.costs.npu_ops_per_us
+        )
+        self.programs_run += 1
+        return self.queue.submit(duration)
+
+    def _alu(self, ins: Instruction, acc: np.ndarray, namespace: str = "") -> np.ndarray:
+        opcode = ins.op.split(":", 1)[1]
+        if ins.use_imm:
+            operand: object = np.int32(ins.imm)
+        else:
+            operand = self._tensor(ins.src, namespace).astype(np.int32)
+        if opcode == OP_ADD:
+            return acc + operand
+        if opcode == OP_MUL:
+            return acc * operand
+        if opcode == OP_SHR:
+            return acc >> operand
+        if opcode == OP_MAX:
+            return np.maximum(acc, operand)
+        if opcode == OP_MIN:
+            return np.minimum(acc, operand)
+        raise NpuError(f"unknown ALU opcode {opcode!r}")
+
+    def synchronize(self) -> float:
+        """Wait for the command queue to drain."""
+        return self.queue.join()
+
+    # -- lifecycle ------------------------------------------------------------
+    def clear_state(self) -> int:
+        """Scrub DRAM tensors and scratchpads (failure recovery, A3)."""
+        cleared = sum(t.nbytes for t in self._dram.values())
+        self._dram.clear()
+        self.queue.reset()
+        super().clear_state()
+        return cleared

@@ -1,0 +1,70 @@
+"""RPC-level adversaries for the untrusted transport.
+
+The normal OS controls untrusted memory, so it "can reorder and replay RPCs
+between mEnclaves ... and invoke an mECall with arbitrary parameters"
+(paper section III-B).  These adversaries plug into
+:class:`~repro.rpc.baselines.UntrustedTransport` and mutate the message
+flow; integrity must come from the protocol (MACs + counters + acks), never
+from the transport.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class DropAdversary:
+    """Silently drops every ``drop_every``-th message."""
+
+    def __init__(self, drop_every: int = 1) -> None:
+        self.drop_every = drop_every
+        self._seen = 0
+        self.dropped = 0
+
+    def __call__(self, message: bytes) -> List[bytes]:
+        self._seen += 1
+        if self._seen % self.drop_every == 0:
+            self.dropped += 1
+            return []
+        return [message]
+
+
+class ReplayAdversary:
+    """Delivers every message twice (classic replay)."""
+
+    def __init__(self) -> None:
+        self.replayed = 0
+
+    def __call__(self, message: bytes) -> List[bytes]:
+        self.replayed += 1
+        return [message, message]
+
+
+class ReorderAdversary:
+    """Holds each message back and delivers it *after* the next one."""
+
+    def __init__(self) -> None:
+        self._held: List[bytes] = []
+        self.reordered = 0
+
+    def __call__(self, message: bytes) -> List[bytes]:
+        if not self._held:
+            self._held.append(message)
+            return []  # withhold; will be delivered out of order later
+        previous = self._held.pop()
+        self.reordered += 1
+        return [message, previous]
+
+
+class TamperAdversary:
+    """Flips bits in the payload (parameter corruption)."""
+
+    def __init__(self, flip_at: int = 8) -> None:
+        self.flip_at = flip_at
+        self.tampered = 0
+
+    def __call__(self, message: bytes) -> List[bytes]:
+        self.tampered += 1
+        mutated = bytearray(message)
+        mutated[self.flip_at % len(mutated)] ^= 0xFF
+        return [bytes(mutated)]

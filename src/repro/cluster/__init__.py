@@ -1,0 +1,22 @@
+"""Distributed heterogeneous computing — the section VII-C extension.
+
+"CRONUS currently works on a single server and does not support
+heterogeneous computing in a distributed manner.  However, by integrating
+with existing distributed resource scheduling techniques, CRONUS can be
+extended to support distributed heterogeneous computing."  This package is
+that extension: a cluster of independent CRONUS machines, a scheduler that
+places work on attested nodes and reschedules around node failures, and a
+cross-node data-parallel trainer whose gradient exchange is *encrypted*
+(unlike intra-machine PCIe P2P, the network between machines is untrusted).
+"""
+
+from repro.cluster.cluster import Cluster, ClusterError, ClusterNode
+from repro.cluster.trainer import DistributedResult, distributed_train
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "ClusterError",
+    "DistributedResult",
+    "distributed_train",
+]

@@ -1,0 +1,133 @@
+"""A cluster of CRONUS machines with mutual attestation and scheduling.
+
+Each node is a complete, independently booted CRONUS system with its own
+virtual clock (machines do not share clocks; cross-node time is composed
+per job).  Before any job runs, every node verifies every other node's
+platform attestation report — the same client-side protocol of section
+IV-A, applied pairwise — so a compromised or fabricated node never joins
+the mesh.  Node failures take the whole machine (the cluster analog of a
+reboot); the scheduler reassigns its work to surviving attested nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.dispatch.client import RemoteClient
+from repro.secure.monitor import AttestationError
+from repro.sim import CostModel
+from repro.systems import CronusSystem, TestbedConfig
+
+
+class ClusterError(Exception):
+    """Scheduling failure: no attested capacity, unknown node."""
+
+
+class ClusterNode:
+    """One machine in the cluster."""
+
+    def __init__(self, name: str, *, gpus: int = 1, costs: Optional[CostModel] = None) -> None:
+        self.name = name
+        self.system = CronusSystem(TestbedConfig(num_gpus=gpus), costs=costs)
+        self.gpus = gpus
+        self.alive = True
+        self.attested = False
+
+    def device_certs(self) -> Dict[str, object]:
+        return {
+            d.name: d.vendor_cert
+            for d in self.system.platform.devices()
+            if d.vendor_cert is not None and d.device_type != "cpu"
+        }
+
+    def fail(self) -> None:
+        """The whole machine dies (power/kernel failure)."""
+        self.alive = False
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"ClusterNode({self.name!r}, {self.gpus} gpus, {state})"
+
+
+class Cluster:
+    """A set of nodes plus the placement/attestation logic."""
+
+    def __init__(
+        self,
+        num_nodes: int = 2,
+        *,
+        gpus_per_node: int = 1,
+        costs: Optional[CostModel] = None,
+    ) -> None:
+        if num_nodes < 1:
+            raise ClusterError("a cluster needs at least one node")
+        self.costs = costs or CostModel()
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(f"node{i}", gpus=gpus_per_node, costs=costs)
+            for i in range(num_nodes)
+        ]
+
+    # -- attestation mesh ---------------------------------------------------
+    def attest_mesh(self) -> int:
+        """Every node verifies every other node's platform report.
+
+        Each verification charges one network round trip on the verifying
+        node (report + response).  Returns the number of verifications.
+        A node failing verification is expelled (marked not attested).
+        """
+        verifications = 0
+        for verifier in self.nodes:
+            if not verifier.alive:
+                continue
+            for target in self.nodes:
+                if target is verifier or not target.alive:
+                    continue
+                client = RemoteClient.for_system(target.system)
+                try:
+                    client.verify(target.system.attest_platform(), target.device_certs())
+                except AttestationError:
+                    target.attested = False
+                    continue
+                verifier.system.clock.advance(self.costs.network_rtt_us)
+                verifications += 1
+        for node in self.nodes:
+            if node.alive:
+                node.attested = True
+        return verifications
+
+    # -- membership / placement ------------------------------------------------
+    def attested_nodes(self) -> List[ClusterNode]:
+        return [n for n in self.nodes if n.alive and n.attested]
+
+    def node(self, name: str) -> ClusterNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise ClusterError(f"no node named {name!r}")
+
+    def fail_node(self, name: str) -> None:
+        self.node(name).fail()
+
+    def require_capacity(self, nodes_needed: int) -> List[ClusterNode]:
+        available = self.attested_nodes()
+        if len(available) < nodes_needed:
+            raise ClusterError(
+                f"need {nodes_needed} attested nodes, only {len(available)} available"
+            )
+        return available[:nodes_needed]
+
+    # -- cross-node communication cost ------------------------------------------
+    def allreduce_time_us(self, gradient_bytes: int, participants: int) -> float:
+        """Ring all-reduce across machines: the volume of figure 11b's
+        model, but over the *untrusted* network — every byte is encrypted
+        and each ring step pays a round trip."""
+        if participants <= 1:
+            return 0.0
+        volume = 2.0 * gradient_bytes * (participants - 1) / participants
+        transfer = self.costs.copy_cost_us(int(volume), per_kib=self.costs.network_us_per_kib)
+        cipher = 2.0 * self.costs.copy_cost_us(
+            int(volume), per_kib=self.costs.encryption_us_per_kib
+        )
+        rtts = 2.0 * (participants - 1) * self.costs.network_rtt_us
+        return transfer + cipher + rtts

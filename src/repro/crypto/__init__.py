@@ -1,0 +1,32 @@
+"""Cryptographic substrate for attestation, ownership and sealing.
+
+CRONUS relies on a hardware root of trust (per-vendor keys burned into
+ROM), Diffie-Hellman exchange during mEnclave creation, and signed
+measurement reports.  We implement genuine public-key semantics with a
+Schnorr signature scheme over a classic MODP group so that verification
+really fails on tampered reports; group sizes are chosen for test speed,
+not cryptographic strength (see DESIGN.md non-goals).
+"""
+
+from repro.crypto.hashing import measure, measure_many, hexdigest
+from repro.crypto.keys import KeyPair, PublicKey, SignatureError, generate_keypair
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.certs import Certificate, CertificateAuthority, CertificateError
+from repro.crypto.seal import AuthTagError, seal, unseal
+
+__all__ = [
+    "measure",
+    "measure_many",
+    "hexdigest",
+    "KeyPair",
+    "PublicKey",
+    "SignatureError",
+    "generate_keypair",
+    "DiffieHellman",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateError",
+    "AuthTagError",
+    "seal",
+    "unseal",
+]

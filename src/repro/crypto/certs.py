@@ -1,0 +1,79 @@
+"""Endorsement certificates.
+
+Attestation in CRONUS ends with the client checking two endorsements
+(paper section IV-A): the platform attestation key AtK must be endorsed by
+the attestation service, and each accelerator's PubK_acc must be endorsed
+by its hardware vendor.  A :class:`CertificateAuthority` models one such
+endorsing party; clients are provisioned with the CA public keys (trust
+anchors) out of band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import KeyPair, PublicKey, Signature, SignatureError, generate_keypair
+
+
+class CertificateError(Exception):
+    """Raised when an endorsement chain does not verify."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An endorsement: ``issuer`` vouches that ``subject`` belongs to
+    ``subject_name``."""
+
+    subject_name: str
+    subject: PublicKey
+    issuer_name: str
+    signature: Signature
+
+    def payload(self) -> bytes:
+        return b"|".join(
+            [
+                b"cert",
+                self.subject_name.encode(),
+                self.subject.fingerprint(),
+                self.issuer_name.encode(),
+            ]
+        )
+
+
+class CertificateAuthority:
+    """An endorsing party: an accelerator vendor or the attestation service."""
+
+    def __init__(self, name: str, seed: bytes) -> None:
+        self.name = name
+        self._keys: KeyPair = generate_keypair(seed, label=f"ca:{name}")
+
+    @property
+    def public(self) -> PublicKey:
+        """The trust anchor distributed to clients."""
+        return self._keys.public
+
+    def endorse(self, subject_name: str, subject: PublicKey) -> Certificate:
+        """Issue a certificate binding ``subject`` to ``subject_name``."""
+        cert = Certificate(
+            subject_name=subject_name,
+            subject=subject,
+            issuer_name=self.name,
+            signature=Signature(0, 1),  # placeholder, replaced below
+        )
+        signature = self._keys.sign(cert.payload())
+        return Certificate(
+            subject_name=subject_name,
+            subject=subject,
+            issuer_name=self.name,
+            signature=signature,
+        )
+
+
+def verify_certificate(cert: Certificate, anchor: PublicKey) -> None:
+    """Check that ``cert`` was issued by the party holding ``anchor``."""
+    try:
+        anchor.verify(cert.payload(), cert.signature)
+    except SignatureError as exc:
+        raise CertificateError(
+            f"certificate for {cert.subject_name!r} not endorsed by {cert.issuer_name!r}"
+        ) from exc

@@ -1,0 +1,44 @@
+"""Measurement hashing.
+
+CRONUS's secure monitor measures mOS images and mOSes measure mEnclave
+images (paper section IV-A).  A measurement is the SHA-256 digest of the
+byte content; composite measurements hash the concatenation of
+length-prefixed parts so that part boundaries cannot be forged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+Measurable = Union[bytes, bytearray, memoryview, str]
+
+
+def _to_bytes(data: Measurable) -> bytes:
+    if isinstance(data, str):
+        return data.encode("utf-8")
+    return bytes(data)
+
+
+def measure(data: Measurable) -> bytes:
+    """SHA-256 measurement of a single blob (an image, a manifest, ...)."""
+    return hashlib.sha256(_to_bytes(data)).digest()
+
+
+def measure_many(parts: Iterable[Measurable]) -> bytes:
+    """Composite measurement of an ordered sequence of parts.
+
+    Each part is length-prefixed before hashing, so ``["ab", "c"]`` and
+    ``["a", "bc"]`` measure differently.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        raw = _to_bytes(part)
+        h.update(len(raw).to_bytes(8, "big"))
+        h.update(raw)
+    return h.digest()
+
+
+def hexdigest(data: Measurable) -> str:
+    """Hex form of :func:`measure`, as stored in manifest image tables."""
+    return measure(data).hex()

@@ -1,0 +1,49 @@
+"""Authenticated sealing of data under a symmetric key.
+
+Used for the SPM's local seal key (LSK) when producing local attestation
+reports, and for user data handed to an mEnclave in encrypted form (the
+application workflow in paper section III-D).  The cipher is a SHA-256
+keystream with an HMAC tag: not production-grade, but tampering and wrong
+keys genuinely fail to unseal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+class AuthTagError(Exception):
+    """Raised when unsealing fails authentication."""
+
+
+_TAG_LEN = 32
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def seal(key: bytes, plaintext: bytes, *, nonce: bytes = b"\x00" * 8) -> bytes:
+    """Encrypt-then-MAC ``plaintext`` under ``key``."""
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+    tag = hmac.new(key, nonce + ciphertext, hashlib.sha256).digest()
+    return nonce + ciphertext + tag
+
+
+def unseal(key: bytes, sealed: bytes) -> bytes:
+    """Reverse :func:`seal`; raise :class:`AuthTagError` on any tampering."""
+    if len(sealed) < 8 + _TAG_LEN:
+        raise AuthTagError("sealed blob too short")
+    nonce, body, tag = sealed[:8], sealed[8:-_TAG_LEN], sealed[-_TAG_LEN:]
+    expect = hmac.new(key, nonce + body, hashlib.sha256).digest()
+    if not hmac.compare_digest(expect, tag):
+        raise AuthTagError("authentication tag mismatch")
+    stream = _keystream(key, nonce, len(body))
+    return bytes(a ^ b for a, b in zip(body, stream))

@@ -1,0 +1,24 @@
+"""The normal (untrusted) world: OS, Enclave Dispatcher, applications.
+
+The normal world runs a full OS, the untrusted halves of applications, and
+the Enclave Dispatcher that routes mEnclave requests to partitions (paper
+section III-A).  Everything here is *untrusted* in the threat model — the
+attack harness (:mod:`repro.attacks`) subclasses these components to act
+maliciously, and the secure world must hold regardless.
+"""
+
+from repro.dispatch.dispatcher import DispatchError, EnclaveDispatcher
+from repro.dispatch.application import Application, EnclaveHandle, WorkflowError
+from repro.dispatch.partitioner import AutoPartitioner, PartitionedRuntime
+from repro.dispatch.client import RemoteClient
+
+__all__ = [
+    "EnclaveDispatcher",
+    "DispatchError",
+    "Application",
+    "EnclaveHandle",
+    "WorkflowError",
+    "AutoPartitioner",
+    "PartitionedRuntime",
+    "RemoteClient",
+]

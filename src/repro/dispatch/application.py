@@ -1,0 +1,206 @@
+"""The application workflow (paper section III-D).
+
+An application's untrusted part creates mEnclaves through the dispatcher,
+becomes their *owner* via the creation-time Diffie-Hellman exchange, hands
+them encrypted user data after remote attestation, and wires mEnclaves
+together with sRPC channels to build heterogeneous computation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.seal import seal, unseal
+from repro.dispatch.dispatcher import EnclaveDispatcher
+from repro.enclave.manifest import Manifest
+from repro.enclave.menclave import MEnclave
+from repro.mos.microos import MicroOS
+from repro.rpc.channel import EnclaveEndpoint, SRPCChannel
+
+
+class WorkflowError(Exception):
+    """Application-level misuse (unknown enclave, attestation not done)."""
+
+
+class EnclaveHandle:
+    """The creator's handle on an mEnclave: its endpoint plus secret_dhke.
+
+    Possession of ``secret`` *is* ownership: only the holder can make
+    untrusted-path mECalls or open sRPC channels into the enclave.
+    ``parent`` tracks the creation chain when an mEnclave creates another
+    mEnclave (the section III-D workflow: mE_A creates the CUDA mEnclave).
+    """
+
+    def __init__(
+        self,
+        enclave: MEnclave,
+        mos: MicroOS,
+        secret: bytes,
+        parent: Optional["EnclaveHandle"] = None,
+    ) -> None:
+        self.enclave = enclave
+        self.mos = mos
+        self.secret = secret
+        self.parent = parent
+        self.children: list = []
+        self._counter = 0
+
+    @property
+    def eid(self) -> int:
+        return self.enclave.eid
+
+    def endpoint(self) -> EnclaveEndpoint:
+        return EnclaveEndpoint(enclave=self.enclave, mos=self.mos)
+
+    def ecall(self, fn: str, *args: Any, **kwargs: Any) -> Any:
+        """Untrusted-path mECall with the ownership MAC + fresh counter."""
+        self._counter += 1
+        tag = self.enclave.owner_tag(self.secret, fn, self._counter)
+        return self.enclave.mecall_untrusted(
+            fn, args, kwargs, counter=self._counter, tag=tag
+        )
+
+    def send_sealed(self, fn: str, plaintext: bytes) -> Any:
+        """The section III-D data path: the user seals data under the shared
+        secret; the enclave unseals it inside the TEE."""
+        blob = seal(self.secret, plaintext)
+        return self.ecall(fn, blob)
+
+    def unseal(self, blob: bytes) -> bytes:
+        return unseal(self.secret, blob)
+
+
+class Application:
+    """An application using CRONUS: creates, owns and connects mEnclaves.
+
+    ``rpc_mode`` selects the inter-enclave RPC protocol: ``"srpc"`` (the
+    paper's system), or the ablation baselines ``"sync"`` (lock-step over
+    untrusted memory) and ``"encrypted"`` (HIX-style sealed lock-step).
+    """
+
+    def __init__(
+        self, name: str, dispatcher: EnclaveDispatcher, spm, *, rpc_mode: str = "srpc"
+    ) -> None:
+        if rpc_mode not in ("srpc", "sync", "encrypted"):
+            raise WorkflowError(f"unknown rpc mode {rpc_mode!r}")
+        self.name = name
+        self.rpc_mode = rpc_mode
+        self._dispatcher = dispatcher
+        self._spm = spm
+        self._handles: Dict[int, EnclaveHandle] = {}
+        self._channels: list = []
+
+    def create_enclave(
+        self,
+        manifest: Manifest,
+        image,
+        image_file_name: str,
+        *,
+        device_name: Optional[str] = None,
+        mos: Optional[MicroOS] = None,
+    ) -> EnclaveHandle:
+        """Create an mEnclave and become its owner.
+
+        ``mos`` overrides dispatch (used by attack tests to model a
+        malicious dispatcher routing to the wrong partition).
+        """
+        target = mos or self._dispatcher.partition_for(
+            manifest.device_type, device_name=device_name
+        )
+        exchange = DiffieHellman(f"{self.name}:{target.name}:{id(manifest)}".encode())
+        enclave = target.manager.create(manifest, image, image_file_name, exchange.public)
+        secret = exchange.shared_secret(enclave.dh_public)
+        handle = EnclaveHandle(enclave, target, secret)
+        self._handles[enclave.eid] = handle
+        return handle
+
+    def create_child_enclave(
+        self,
+        parent: EnclaveHandle,
+        manifest: Manifest,
+        image,
+        image_file_name: str,
+        *,
+        device_name: Optional[str] = None,
+    ) -> EnclaveHandle:
+        """The section III-D flow: an mEnclave creates another mEnclave.
+
+        The Diffie-Hellman exchange runs between the *parent enclave* and
+        the new enclave, so the parent is the owner — the untrusted app
+        never learns ``secret_dhke`` and cannot invoke the child's mECalls.
+        The returned handle carries the parent link; channels into the
+        child must originate from the parent (dCheck enforces this).
+        """
+        target = self._dispatcher.partition_for(
+            manifest.device_type, device_name=device_name
+        )
+        exchange = DiffieHellman(
+            f"enclave:{parent.eid:#010x}:{target.name}:{len(parent.children)}".encode()
+        )
+        enclave = target.manager.create(manifest, image, image_file_name, exchange.public)
+        secret = exchange.shared_secret(enclave.dh_public)
+        child = EnclaveHandle(enclave, target, secret, parent=parent)
+        parent.children.append(child)
+        self._handles[enclave.eid] = child
+        return child
+
+    def open_child_channel(self, child: EnclaveHandle, **kwargs) -> SRPCChannel:
+        """Open the parent-to-child sRPC stream for a child enclave."""
+        if child.parent is None:
+            raise WorkflowError(f"enclave {child.eid:#010x} has no parent enclave")
+        return self.open_channel(child.parent, child, **kwargs)
+
+    def destroy_enclave(self, handle: EnclaveHandle) -> None:
+        handle.mos.manager.destroy(handle.eid)
+        self._handles.pop(handle.eid, None)
+
+    def open_channel(
+        self,
+        caller: EnclaveHandle,
+        callee: EnclaveHandle,
+        *,
+        ring_pages: int = 31,
+        expected_measurement: Optional[bytes] = None,
+    ) -> SRPCChannel:
+        """Open an inter-enclave RPC channel from ``caller`` into ``callee``.
+
+        The caller acts with the *owner's* secret for dCheck; in the paper
+        mE_A itself created mE_B, so the secret lives on mE_A's side — our
+        handle carries it on mE_A's behalf.  The protocol follows this
+        application's ``rpc_mode`` (sRPC by default; the baselines exist
+        for the ablation benchmarks).
+        """
+        if self.rpc_mode == "srpc":
+            channel = SRPCChannel(
+                caller.endpoint(),
+                callee.endpoint(),
+                callee.secret,
+                self._spm,
+                ring_pages=ring_pages,
+                expected_measurement=expected_measurement,
+            )
+        else:
+            from repro.rpc.baselines import EncryptedRpcChannel, SyncRpcChannel
+
+            channel_cls = SyncRpcChannel if self.rpc_mode == "sync" else EncryptedRpcChannel
+            channel = channel_cls(caller.endpoint(), callee.endpoint(), callee.secret)
+        self._channels.append(channel)
+        return channel
+
+    def handles(self) -> Dict[int, EnclaveHandle]:
+        return dict(self._handles)
+
+    def shutdown(self) -> None:
+        """Close channels and destroy every enclave this app owns."""
+        for channel in self._channels:
+            try:
+                channel.close()
+            except Exception:
+                pass  # peers may have failed; nothing left to release
+        self._channels.clear()
+        for handle in list(self._handles.values()):
+            try:
+                self.destroy_enclave(handle)
+            except Exception:
+                self._handles.pop(handle.eid, None)

@@ -1,0 +1,86 @@
+"""The remote client: the party whose data the TEE protects.
+
+Encapsulates the verification side of the paper's attestation protocol
+(section IV-A): the client is provisioned out of band with the attestation
+service's and hardware vendors' trust anchors, verifies the platform
+report (software measurements, device tree, accelerator authenticity),
+pins expected measurements, and only then provisions sealed data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto.certs import Certificate
+from repro.crypto.keys import PublicKey
+from repro.crypto.seal import seal
+from repro.hw.devicetree import DeviceTree
+from repro.secure.monitor import AttestationError, AttestationReport, verify_attestation_report
+
+
+class RemoteClient:
+    """A user of the PaaS, holding only public trust anchors."""
+
+    def __init__(
+        self,
+        attestation_anchor: PublicKey,
+        vendor_anchors: Dict[str, PublicKey],
+        *,
+        expected_mos_hashes: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self._attestation_anchor = attestation_anchor
+        self._vendor_anchors = dict(vendor_anchors)
+        self._expected_mos_hashes = dict(expected_mos_hashes or {})
+        self._verified_report: Optional[AttestationReport] = None
+
+    @classmethod
+    def for_system(cls, system, **kwargs) -> "RemoteClient":
+        """Provision a client with the platform's published anchors (the
+        out-of-band step a real deployment does once)."""
+        return cls(
+            system.platform.attestation_service.public,
+            {name: ca.public for name, ca in system.platform.vendors.items()},
+            **kwargs,
+        )
+
+    # -- attestation ---------------------------------------------------------
+    def verify(
+        self,
+        report: AttestationReport,
+        device_certs: Dict[str, Certificate],
+    ) -> AttestationReport:
+        """Full client-side verification; raises on any mismatch.
+
+        Beyond the signature/endorsement chain this checks the client's
+        pinned mOS measurements (a user trusts only the mOS *version* it
+        audited, section III-B) and validates the embedded device tree.
+        """
+        verify_attestation_report(
+            report, self._attestation_anchor, self._vendor_anchors, device_certs
+        )
+        for mos_name, expected in self._expected_mos_hashes.items():
+            actual = report.mos_hashes.get(mos_name)
+            if actual != expected:
+                raise AttestationError(
+                    f"mOS {mos_name!r} measurement {str(actual)[:16]}... does not "
+                    f"match the audited version {expected[:16]}..."
+                )
+        DeviceTree.deserialize(report.device_tree_blob).validate()
+        self._verified_report = report
+        return report
+
+    @property
+    def attested(self) -> bool:
+        return self._verified_report is not None
+
+    # -- data provisioning ---------------------------------------------------
+    def provision(self, handle, fn: str, plaintext: bytes):
+        """Send sealed data to an attested platform's mEnclave.
+
+        Refuses to release anything before a successful :meth:`verify` —
+        the property the section III-D workflow hinges on.
+        """
+        if not self.attested:
+            raise AttestationError("client refuses to provision data before attestation")
+        blob = seal(handle.secret, plaintext)
+        return handle.ecall(fn, blob)

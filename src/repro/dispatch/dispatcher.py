@@ -1,0 +1,72 @@
+"""The Enclave Dispatcher.
+
+Runs in the normal world and "determines which partition is used to handle
+an mEnclave request from an application ... records the device type and
+configurations, mOS images, and usable resources in each partition"
+(paper section III-A).  It is *untrusted*: a malicious dispatcher can route
+a request to the wrong partition, and CRONUS's ownership assurance (the
+manifest device-type check plus the creation-time DH binding) must catch
+it — see the attack tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.mos.microos import MicroOS
+
+
+class DispatchError(Exception):
+    """No partition can serve the request."""
+
+
+class EnclaveDispatcher:
+    """Device-type to mOS routing table."""
+
+    def __init__(self) -> None:
+        self._moses: List[MicroOS] = []
+
+    def register(self, mos: MicroOS) -> None:
+        self._moses.append(mos)
+
+    def moses(self) -> List[MicroOS]:
+        return list(self._moses)
+
+    def mos_named(self, name: str) -> MicroOS:
+        for mos in self._moses:
+            if mos.name == name:
+                return mos
+        raise DispatchError(f"no mOS named {name!r}")
+
+    def partition_for(
+        self, device_type: str, *, device_name: Optional[str] = None
+    ) -> MicroOS:
+        """Pick the mOS serving ``device_type``.
+
+        With ``device_name`` the caller pins a specific accelerator (e.g.
+        'gpu1' for data-parallel training); otherwise the least-loaded
+        matching partition wins.
+        """
+        candidates = [m for m in self._moses if m.device_type == device_type]
+        if device_name is not None:
+            candidates = [m for m in candidates if m.partition.device.name == device_name]
+        if not candidates:
+            raise DispatchError(
+                f"no partition manages a {device_type!r} device"
+                + (f" named {device_name!r}" if device_name else "")
+            )
+        return min(candidates, key=lambda m: m.manager.reserved_bytes)
+
+    def resources(self) -> Dict[str, Dict[str, object]]:
+        """The dispatcher's bookkeeping view (device type, usable memory)."""
+        out: Dict[str, Dict[str, object]] = {}
+        for mos in self._moses:
+            device = mos.partition.device
+            out[mos.name] = {
+                "device": device.name,
+                "device_type": mos.device_type,
+                "memory_bytes": device.memory_bytes,
+                "reserved_bytes": mos.manager.reserved_bytes,
+                "state": mos.partition.state.value,
+            }
+        return out

@@ -1,0 +1,44 @@
+"""The MicroEnclave (mEnclave) model.
+
+An mEnclave is a black-box executor ``<mECalls, state>`` (paper section
+IV-A): a fixed set of entry points over hidden internal state, created from
+a manifest that pins the device type, image hashes, mECall list and
+resource capacity.  Execution models give the abstraction life on each
+device class: a dynamic-library analog on CPU, a CUDA runtime on GPU, a
+VTA runtime on NPU.
+"""
+
+from repro.enclave.manifest import Manifest, ManifestError, MECallSpec
+from repro.enclave.images import (
+    CpuImage,
+    CudaImage,
+    ImageError,
+    NpuImage,
+)
+from repro.enclave.models import (
+    CpuExecutionModel,
+    CudaExecutionModel,
+    ExecutionError,
+    NpuExecutionModel,
+    model_for_device,
+)
+from repro.enclave.menclave import MEnclave, OwnershipError, make_eid, split_eid
+
+__all__ = [
+    "Manifest",
+    "ManifestError",
+    "MECallSpec",
+    "CpuImage",
+    "CudaImage",
+    "NpuImage",
+    "ImageError",
+    "CpuExecutionModel",
+    "CudaExecutionModel",
+    "NpuExecutionModel",
+    "ExecutionError",
+    "model_for_device",
+    "MEnclave",
+    "OwnershipError",
+    "make_eid",
+    "split_eid",
+]

@@ -1,0 +1,107 @@
+"""mEnclave images.
+
+The paper's mEnclave image is "a file that stores execution code": a
+dynamic library (``.so``) for CPU mEnclaves, a CUDA ELF (``.cubin``) for
+CUDA mEnclaves, compiled VTA programs for NPU mEnclaves.  Our images pair
+executable content (python callables / kernel name sets / NPU programs)
+with a deterministic byte blob so manifests can pin their hashes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.accel.npu import NpuProgram
+from repro.crypto.hashing import hexdigest
+
+
+class ImageError(Exception):
+    """Referencing content absent from an image."""
+
+
+@dataclass(frozen=True)
+class CpuImage:
+    """The '.so' analog: named python callables.
+
+    ``functions`` receive ``(state: dict, *args, **kwargs)`` — the mutable
+    ``state`` dict is the enclave's private memory.  ``flops`` (optional per
+    function) drives the CPU timing model.
+    """
+
+    name: str
+    functions: Dict[str, Callable]
+    flops: Dict[str, float] = field(default_factory=dict)
+
+    def blob(self) -> bytes:
+        """Deterministic content for measurement: names + code objects
+        (bytecode, constants and referenced names — enough that changing a
+        function body changes the measurement)."""
+        body = {}
+        for fn_name, fn in sorted(self.functions.items()):
+            if hasattr(fn, "__code__"):
+                code = fn.__code__
+                body[fn_name] = [
+                    code.co_code.hex(),
+                    repr(code.co_consts),
+                    repr(code.co_names),
+                ]
+            else:
+                body[fn_name] = [fn_name]
+        return json.dumps({"so": self.name, "functions": body}, sort_keys=True).encode()
+
+    def digest(self) -> str:
+        return hexdigest(self.blob())
+
+    def function(self, fn_name: str) -> Callable:
+        try:
+            return self.functions[fn_name]
+        except KeyError:
+            raise ImageError(f"function {fn_name!r} not in image {self.name!r}") from None
+
+
+@dataclass(frozen=True)
+class CudaImage:
+    """The '.cubin' analog: the set of kernels this enclave may launch.
+
+    Kernel implementations live in the device's registry
+    (:data:`repro.accel.gpu.KERNEL_REGISTRY`); the image only *names* them,
+    as a cubin names its kernels, and launching anything else is rejected.
+    """
+
+    name: str
+    kernels: Tuple[str, ...]
+
+    def blob(self) -> bytes:
+        return json.dumps({"cubin": self.name, "kernels": sorted(self.kernels)}).encode()
+
+    def digest(self) -> str:
+        return hexdigest(self.blob())
+
+    def allows_kernel(self, kernel_name: str) -> bool:
+        return kernel_name in self.kernels
+
+
+@dataclass(frozen=True)
+class NpuImage:
+    """Compiled VTA programs, keyed by name."""
+
+    name: str
+    programs: Dict[str, NpuProgram]
+
+    def blob(self) -> bytes:
+        body = {
+            prog_name: [ins.op for ins in prog.instructions]
+            for prog_name, prog in sorted(self.programs.items())
+        }
+        return json.dumps({"vta": self.name, "programs": body}, sort_keys=True).encode()
+
+    def digest(self) -> str:
+        return hexdigest(self.blob())
+
+    def program(self, prog_name: str) -> NpuProgram:
+        try:
+            return self.programs[prog_name]
+        except KeyError:
+            raise ImageError(f"program {prog_name!r} not in image {self.name!r}") from None

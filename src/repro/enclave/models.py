@@ -1,0 +1,168 @@
+"""Execution models.
+
+The paper models an mEnclave as a black-box executor whose *implementation*
+varies by device: "an executor can execute a dynamic library ... and a CUDA
+executable file" (section IV-A).  Each model implements the lifecycle hooks
+(``me_create`` / ``me_call`` / ``me_destroy``) against its device's HAL.
+
+The mECall surfaces mirror the runtimes CRONUS ports: the CUDA model
+exposes the gdev/ocelot-style CUDA API, the NPU model the VTA fsim runtime,
+the CPU model the functions of the loaded library.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.enclave.images import CpuImage, CudaImage, ImageError, NpuImage
+from repro.enclave.manifest import MECallSpec
+
+
+class ExecutionError(Exception):
+    """A rejected or failed mECall inside the execution model."""
+
+
+class CpuExecutionModel:
+    """Dynamic-library execution on the CPU device (OPTEE-style TA)."""
+
+    device_type = "cpu"
+
+    def me_create(self, image: CpuImage, hal, memory_quota: int = None) -> Dict[str, Any]:
+        if not isinstance(image, CpuImage):
+            raise ExecutionError(f"CPU model cannot load {type(image).__name__}")
+        return {"image": image, "memory": {}, "hal": hal}
+
+    def me_call(self, state: Dict[str, Any], fn: str, args: tuple, kwargs: dict) -> Any:
+        image: CpuImage = state["image"]
+        try:
+            target = image.function(fn)
+        except ImageError as exc:
+            raise ExecutionError(str(exc)) from exc
+        flops = image.flops.get(fn, 0.0)
+        return state["hal"].cpu_device.execute(
+            target, state["memory"], *args, flops=flops, **kwargs
+        )
+
+    def me_destroy(self, state: Dict[str, Any]) -> None:
+        state["memory"].clear()
+
+
+class CudaExecutionModel:
+    """CUDA execution on the GPU device, restricted to the image's kernels."""
+
+    device_type = "gpu"
+
+    def me_create(self, image: CudaImage, hal, memory_quota: int = None) -> Dict[str, Any]:
+        if not isinstance(image, CudaImage):
+            raise ExecutionError(f"CUDA model cannot load {type(image).__name__}")
+        context = hal.create_gpu_context(owner=image.name, quota_bytes=memory_quota)
+        return {"image": image, "context": context}
+
+    def me_call(self, state: Dict[str, Any], fn: str, args: tuple, kwargs: dict) -> Any:
+        context = state["context"]
+        image: CudaImage = state["image"]
+        if fn == "cudaMalloc":
+            shape = tuple(args[0])
+            dtype = np.dtype(kwargs.get("dtype", "float32"))
+            return context.alloc(shape, dtype=dtype)
+        if fn == "cudaFree":
+            context.free(args[0])
+            return None
+        if fn == "cudaMemcpyH2D":
+            handle, host = args
+            context.memcpy_h2d(handle, np.asarray(host))
+            return None
+        if fn == "cudaMemcpyD2H":
+            return context.memcpy_d2h(args[0])
+        if fn == "cudaLaunchKernel":
+            kernel_name = args[0]
+            if not image.allows_kernel(kernel_name):
+                raise ExecutionError(
+                    f"kernel {kernel_name!r} not present in cubin {image.name!r}"
+                )
+            handles = list(args[1])
+            context.launch(kernel_name, handles, **kwargs)
+            return None
+        if fn == "cudaDeviceSynchronize":
+            context.synchronize()
+            return None
+        raise ExecutionError(f"unknown CUDA mECall {fn!r}")
+
+    def me_destroy(self, state: Dict[str, Any]) -> None:
+        state["context"].destroy()
+
+
+class NpuExecutionModel:
+    """VTA runtime execution on the NPU device."""
+
+    device_type = "npu"
+
+    def me_create(self, image: NpuImage, hal, memory_quota: int = None) -> Dict[str, Any]:
+        if not isinstance(image, NpuImage):
+            raise ExecutionError(f"NPU model cannot load {type(image).__name__}")
+        # Each mEnclave gets a private NPU tensor namespace (section V-B);
+        # bare devices (baseline systems) are used directly.
+        create = getattr(hal, "create_npu_context", None)
+        executor = create(image.name) if create is not None else hal.npu_device
+        return {"image": image, "device": executor}
+
+    def me_call(self, state: Dict[str, Any], fn: str, args: tuple, kwargs: dict) -> Any:
+        device = state["device"]
+        image: NpuImage = state["image"]
+        if fn == "vtaWriteTensor":
+            name, array = args
+            device.write_tensor(name, np.asarray(array))
+            return None
+        if fn == "vtaReadTensor":
+            return device.read_tensor(args[0])
+        if fn == "vtaRun":
+            try:
+                program = image.program(args[0])
+            except ImageError as exc:
+                raise ExecutionError(str(exc)) from exc
+            device.run(program)
+            return None
+        if fn == "vtaSynchronize":
+            device.synchronize()
+            return None
+        raise ExecutionError(f"unknown VTA mECall {fn!r}")
+
+    def me_destroy(self, state: Dict[str, Any]) -> None:
+        pass
+
+
+_MODELS = {
+    "cpu": CpuExecutionModel,
+    "gpu": CudaExecutionModel,
+    "npu": NpuExecutionModel,
+}
+
+
+def model_for_device(device_type: str):
+    """Instantiate the execution model for a manifest's device type."""
+    try:
+        return _MODELS[device_type]()
+    except KeyError:
+        raise ExecutionError(f"no execution model for device type {device_type!r}") from None
+
+
+# The standard mECall surfaces, used when building manifests.  The
+# synchronous flag is the sRPC annotation from section IV-A: asynchronous
+# calls are streamed without joining the consumer.
+CUDA_MECALLS: Tuple[MECallSpec, ...] = (
+    MECallSpec("cudaMalloc", synchronous=True),
+    MECallSpec("cudaFree", synchronous=False),
+    MECallSpec("cudaMemcpyH2D", synchronous=False),
+    MECallSpec("cudaMemcpyD2H", synchronous=True),
+    MECallSpec("cudaLaunchKernel", synchronous=False),
+    MECallSpec("cudaDeviceSynchronize", synchronous=True),
+)
+
+NPU_MECALLS: Tuple[MECallSpec, ...] = (
+    MECallSpec("vtaWriteTensor", synchronous=False),
+    MECallSpec("vtaReadTensor", synchronous=True),
+    MECallSpec("vtaRun", synchronous=False),
+    MECallSpec("vtaSynchronize", synchronous=True),
+)

@@ -1,0 +1,32 @@
+"""Fault injection, recovery orchestration, and application-data recovery.
+
+* :mod:`repro.faults.failover` — the figure 9 two-task crash experiment.
+* :mod:`repro.faults.watchdog` — SPM hang detection (failure circumstance
+  3 of section IV-D).
+* :mod:`repro.faults.checkpoint` — sealed application-data checkpoints
+  with rollback detection (the section III-B integration hook).
+"""
+
+from repro.faults.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointStore,
+    RollbackError,
+)
+from repro.faults.failover import (
+    FailoverResult,
+    FailoverTask,
+    run_failover_experiment,
+)
+from repro.faults.watchdog import Watchdog
+
+__all__ = [
+    "FailoverResult",
+    "FailoverTask",
+    "run_failover_experiment",
+    "Watchdog",
+    "CheckpointManager",
+    "CheckpointStore",
+    "CheckpointError",
+    "RollbackError",
+]

@@ -1,0 +1,48 @@
+"""The SPM watchdog: hang detection (failure circumstance 3).
+
+"The SPM proactively detects if a partition hangs (in a spinning way) by
+checking the status of the partition's mOS" — paper section IV-D.  Live
+mOSes tick a heartbeat counter; the watchdog samples all counters on an
+interval and triggers proceed-trap recovery for any partition whose
+counter did not move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.secure.spm import RecoveryReport
+
+
+class Watchdog:
+    """Periodic heartbeat sampler over a CRONUS system."""
+
+    def __init__(self, system, *, interval_us: float = 50_000.0) -> None:
+        self._system = system
+        self.interval_us = interval_us
+        self._last_sample: Optional[Dict[str, int]] = None
+        self.recoveries: List[RecoveryReport] = []
+
+    def observe(self, *, background: bool = False) -> List[RecoveryReport]:
+        """One watchdog period: wait, sample, recover hung partitions.
+
+        The first observation only establishes the baseline (a partition
+        cannot be judged hung without a previous sample).
+        """
+        spm = self._system.spm
+        self._system.clock.advance(self.interval_us)
+        current = spm.heartbeat_snapshot()
+        if self._last_sample is None:
+            self._last_sample = current
+            return []
+        hung = spm.watchdog_scan(self._last_sample)
+        reports: List[RecoveryReport] = []
+        for name in hung:
+            partition = spm.partition(name)
+            mos = self._system.moses.get(partition.device.name)
+            if mos is not None:
+                mos.manager.destroy_all()
+            reports.append(spm.report_panic(name, background=background))
+        self._last_sample = spm.heartbeat_snapshot()
+        self.recoveries.extend(reports)
+        return reports

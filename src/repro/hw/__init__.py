@@ -1,0 +1,50 @@
+"""Simulated platform hardware.
+
+This package stands in for the ARM testbed of the paper (QEMU-emulated
+AArch64 with TrustZone, a TZC-400, an SMMU, a secure PCIe bus and
+passthrough accelerators — paper section V-A).  Every isolation primitive
+the paper assumes (section III-C) exists here as checkable state:
+
+* **Isolation** — :class:`~repro.hw.tzasc.TZASC` filters normal-world DRAM
+  access; stage-2 tables (owned by the SPM) isolate secure partitions.
+* **Hardware root of trust** — :class:`~repro.hw.rot.RootOfTrust` holds the
+  platform key; accelerators carry vendor-endorsed keys.
+* **SecureIO** — :class:`~repro.hw.tzpc.TZPC` plus the secure PCIe bus give
+  the secure world dedicated device access.
+* **Shared TEE memory** — physical pages mapped into multiple stage-2
+  tables by the SPM (see :mod:`repro.secure.spm`).
+"""
+
+from repro.hw.memory import AccessFault, PhysicalMemory, PAGE_SIZE
+from repro.hw.tzasc import TZASC
+from repro.hw.tzpc import TZPC
+from repro.hw.pagetable import PageFault, PagePermission, PageTable
+from repro.hw.smmu import SMMU, SMMUFault
+from repro.hw.devices import Device, MMIORegion
+from repro.hw.pcie import PCIeBus, PCIeError
+from repro.hw.devicetree import DeviceTree, DeviceTreeError, DeviceTreeNode
+from repro.hw.rot import RootOfTrust
+from repro.hw.platform import Platform, PlatformConfig
+
+__all__ = [
+    "AccessFault",
+    "PhysicalMemory",
+    "PAGE_SIZE",
+    "TZASC",
+    "TZPC",
+    "PageFault",
+    "PagePermission",
+    "PageTable",
+    "SMMU",
+    "SMMUFault",
+    "Device",
+    "MMIORegion",
+    "PCIeBus",
+    "PCIeError",
+    "DeviceTree",
+    "DeviceTreeError",
+    "DeviceTreeNode",
+    "RootOfTrust",
+    "Platform",
+    "PlatformConfig",
+]

@@ -1,0 +1,99 @@
+"""Device model base classes.
+
+A :class:`Device` is anything the platform can assign to a world and a
+partition: the CPU cluster, a GPU, an NPU.  Devices expose MMIO regions
+(claimed in the device tree), carry a vendor identity key for authenticity
+attestation (paper section IV-A), and implement ``clear_state`` so failure
+recovery can scrub them (attack A3, section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.certs import Certificate, CertificateAuthority
+from repro.crypto.keys import KeyPair, Signature, generate_keypair
+
+
+@dataclass(frozen=True)
+class MMIORegion:
+    """An MMIO window [base, base+size) claimed by a device."""
+
+    base: int
+    size: int
+
+    def overlaps(self, other: "MMIORegion") -> bool:
+        return self.base < other.base + other.size and other.base < self.base + self.size
+
+
+class Device:
+    """A platform device with an identity key and scrubbable state."""
+
+    device_type = "generic"
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        mmio: MMIORegion,
+        irq: int,
+        vendor: Optional[CertificateAuthority] = None,
+        memory_bytes: int = 0,
+    ) -> None:
+        self.name = name
+        self.mmio = mmio
+        self.irq = irq
+        self.memory_bytes = memory_bytes
+        # Hardware authenticity: a per-device key endorsed by the vendor CA.
+        self._identity: KeyPair = generate_keypair(name.encode(), label=f"dev:{name}")
+        self.vendor_cert: Optional[Certificate] = (
+            vendor.endorse(name, self._identity.public) if vendor else None
+        )
+        self._config_epoch = 0
+
+    # -- authenticity ---------------------------------------------------
+    @property
+    def public_key(self):
+        """PubK_acc — included in the attestation report."""
+        return self._identity.public
+
+    def sign_configuration(self, config_blob: bytes) -> Signature:
+        """Prove key ownership by signing the current configuration."""
+        return self._identity.sign(config_blob)
+
+    # -- lifecycle --------------------------------------------------------
+    def clear_state(self) -> int:
+        """Scrub device-resident state; returns bytes cleared (for timing).
+
+        Subclasses with real state (GPU memory, NPU scratchpad) override.
+        """
+        self._config_epoch += 1
+        return 0
+
+    def configuration_blob(self) -> bytes:
+        """Canonical serialized configuration (for attestation signing)."""
+        return (
+            f"{self.device_type}:{self.name}:mmio={self.mmio.base:#x}+{self.mmio.size:#x}"
+            f":irq={self.irq}:epoch={self._config_epoch}"
+        ).encode()
+
+    def describe(self) -> Tuple[str, str]:
+        return self.device_type, self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class FabricatedDevice(Device):
+    """A device whose key is *not* endorsed by any vendor.
+
+    Used by the attack harness: the untrusted OS configures a fabricated
+    accelerator into the secure world; attestation must reject it
+    (paper section III-B, in-scope attacks).
+    """
+
+    device_type = "fabricated"
+
+    def __init__(self, name: str, *, mmio: MMIORegion, irq: int) -> None:
+        super().__init__(name, mmio=mmio, irq=irq, vendor=None)

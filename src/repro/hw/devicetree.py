@@ -1,0 +1,120 @@
+"""Device tree (DT) with TrustPath-style validation.
+
+The untrusted OS provides a DT describing accelerators and their
+interconnects.  A malicious DT enables MMIO-remapping and interrupt
+spoofing attacks, so CRONUS accepts only *valid* DTs — no overlapping IRQs
+or MMIO windows — retrieves the DT once at SPM initialization, and includes
+it in the attestation report (paper section IV-A).  Changing the DT
+requires a reboot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hw.devices import MMIORegion
+
+
+class DeviceTreeError(Exception):
+    """An invalid device tree was rejected."""
+
+
+@dataclass(frozen=True)
+class DeviceTreeNode:
+    """One DT node: a device's name, type, MMIO window, IRQ and world."""
+
+    name: str
+    device_type: str
+    mmio_base: int
+    mmio_size: int
+    irq: int
+    world: str = "secure"
+    properties: Dict[str, str] = field(default_factory=dict)
+
+    def mmio(self) -> MMIORegion:
+        return MMIORegion(base=self.mmio_base, size=self.mmio_size)
+
+
+class DeviceTree:
+    """An ordered, validated collection of device nodes."""
+
+    def __init__(self, nodes: Optional[List[DeviceTreeNode]] = None) -> None:
+        self._nodes: List[DeviceTreeNode] = list(nodes or [])
+
+    def add(self, node: DeviceTreeNode) -> None:
+        self._nodes.append(node)
+
+    def nodes(self) -> List[DeviceTreeNode]:
+        return list(self._nodes)
+
+    def node(self, name: str) -> DeviceTreeNode:
+        for n in self._nodes:
+            if n.name == name:
+                return n
+        raise DeviceTreeError(f"no device tree node named {name!r}")
+
+    def validate(self) -> None:
+        """Enforce the TrustPath invariants: unique names, no overlapping
+        MMIO windows, no shared IRQ lines, sane sizes."""
+        seen_names = set()
+        seen_irqs: Dict[int, str] = {}
+        for node in self._nodes:
+            if node.name in seen_names:
+                raise DeviceTreeError(f"duplicate device node {node.name!r}")
+            seen_names.add(node.name)
+            if node.mmio_size <= 0 or node.mmio_base < 0:
+                raise DeviceTreeError(f"node {node.name!r} has a bad MMIO window")
+            if node.irq in seen_irqs:
+                raise DeviceTreeError(
+                    f"IRQ {node.irq} claimed by both {seen_irqs[node.irq]!r} "
+                    f"and {node.name!r} (interrupt spoofing risk)"
+                )
+            seen_irqs[node.irq] = node.name
+        for i, a in enumerate(self._nodes):
+            for b in self._nodes[i + 1 :]:
+                if a.mmio().overlaps(b.mmio()):
+                    raise DeviceTreeError(
+                        f"MMIO windows of {a.name!r} and {b.name!r} overlap "
+                        f"(MMIO remapping risk)"
+                    )
+
+    def serialize(self) -> bytes:
+        """Canonical byte form, embedded in the attestation report."""
+        payload = [
+            {
+                "name": n.name,
+                "type": n.device_type,
+                "mmio_base": n.mmio_base,
+                "mmio_size": n.mmio_size,
+                "irq": n.irq,
+                "world": n.world,
+                "properties": dict(sorted(n.properties.items())),
+            }
+            for n in self._nodes
+        ]
+        return json.dumps(payload, sort_keys=True).encode()
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "DeviceTree":
+        try:
+            payload = json.loads(raw.decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise DeviceTreeError(f"malformed device tree blob: {exc}") from exc
+        nodes = [
+            DeviceTreeNode(
+                name=item["name"],
+                device_type=item["type"],
+                mmio_base=item["mmio_base"],
+                mmio_size=item["mmio_size"],
+                irq=item["irq"],
+                world=item.get("world", "secure"),
+                properties=item.get("properties", {}),
+            )
+            for item in payload
+        ]
+        return cls(nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,65 @@
+"""Interrupt controller (GIC stand-in).
+
+Devices raise interrupts (DMA faults, command-queue events); the HAL of
+the owning mOS registers handlers through the shim kernel — "HAL also
+handles page faults and interruptions from the device" (paper section
+IV-B).  The device tree's no-overlapping-IRQ rule (section IV-A) is what
+makes this dispatch unambiguous: each line belongs to exactly one device,
+hence one partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class IrqError(Exception):
+    """Double registration or registration for a foreign device."""
+
+
+@dataclass(frozen=True)
+class Interrupt:
+    """One delivered interrupt: the line, the source device, a payload."""
+
+    irq: int
+    device: str
+    reason: str
+    detail: Any = None
+
+
+class InterruptController:
+    """Line-indexed dispatch with a pending queue for unhandled lines."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[int, Callable[[Interrupt], None]] = {}
+        self._pending: List[Interrupt] = []
+        self.delivered = 0
+
+    def register(self, irq: int, handler: Callable[[Interrupt], None]) -> None:
+        """Claim an interrupt line (one owner per line, like the DT rule)."""
+        if irq in self._handlers:
+            raise IrqError(f"IRQ {irq} already claimed")
+        self._handlers[irq] = handler
+        # Replay anything that fired before the handler existed.
+        for interrupt in [p for p in self._pending if p.irq == irq]:
+            self._pending.remove(interrupt)
+            self.delivered += 1
+            handler(interrupt)
+
+    def unregister(self, irq: int) -> None:
+        self._handlers.pop(irq, None)
+
+    def raise_irq(self, irq: int, device: str, reason: str, detail: Any = None) -> bool:
+        """Deliver an interrupt; returns True if a handler consumed it."""
+        interrupt = Interrupt(irq=irq, device=device, reason=reason, detail=detail)
+        handler = self._handlers.get(irq)
+        if handler is None:
+            self._pending.append(interrupt)
+            return False
+        self.delivered += 1
+        handler(interrupt)
+        return True
+
+    def pending(self) -> List[Interrupt]:
+        return list(self._pending)

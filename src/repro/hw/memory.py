@@ -1,0 +1,97 @@
+"""Physical memory with page-granular, world-checked access.
+
+Pages are allocated lazily (most of the simulated 12 GiB address space is
+never touched).  Every access names the *initiator world* so the TZASC
+filter can reject normal-world reads of secure DRAM — the data-leak path
+the paper's threat model cares about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+PAGE_SIZE = 4096
+
+NORMAL_WORLD = "normal"
+SECURE_WORLD = "secure"
+
+
+class AccessFault(Exception):
+    """A memory access rejected by the TZASC or out of physical range."""
+
+
+class PhysicalMemory:
+    """Byte-addressable DRAM, optionally guarded by a TZASC filter."""
+
+    def __init__(self, size_bytes: int, tzasc: Optional["TZASCLike"] = None) -> None:
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE:
+            raise ValueError(f"memory size must be a positive page multiple, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self._pages: Dict[int, bytearray] = {}
+        self._tzasc = tzasc
+
+    def attach_tzasc(self, tzasc: "TZASCLike") -> None:
+        """Install the TZASC filter (done once during platform bring-up)."""
+        self._tzasc = tzasc
+
+    # -- access -------------------------------------------------------
+    def read(self, addr: int, length: int, *, world: str = SECURE_WORLD) -> bytes:
+        """Read ``length`` bytes at ``addr`` as ``world``."""
+        self._check(addr, length, world)
+        out = bytearray(length)
+        for offset, page, start, end in self._spans(addr, length):
+            chunk = self._pages.get(page)
+            if chunk is not None:
+                out[offset : offset + (end - start)] = chunk[start:end]
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes, *, world: str = SECURE_WORLD) -> None:
+        """Write ``data`` at ``addr`` as ``world``."""
+        self._check(addr, len(data), world)
+        cursor = 0
+        for offset, page, start, end in self._spans(addr, len(data)):
+            chunk = self._pages.setdefault(page, bytearray(PAGE_SIZE))
+            chunk[start:end] = data[cursor : cursor + (end - start)]
+            cursor += end - start
+
+    def zero_range(self, addr: int, length: int) -> None:
+        """Clear a range without a world check — hardware-initiated scrub,
+        used by failure clearing (paper section IV-D, attack A3)."""
+        if addr < 0 or addr + length > self.size_bytes:
+            raise AccessFault(f"scrub out of range: {addr:#x}+{length}")
+        for _, page, start, end in self._spans(addr, length):
+            chunk = self._pages.get(page)
+            if chunk is not None:
+                chunk[start:end] = b"\x00" * (end - start)
+
+    def page_is_zero(self, page: int) -> bool:
+        """True if the page has never been written or was scrubbed."""
+        chunk = self._pages.get(page)
+        return chunk is None or not any(chunk)
+
+    # -- helpers ------------------------------------------------------
+    def _check(self, addr: int, length: int, world: str) -> None:
+        if length < 0:
+            raise ValueError(f"negative access length {length}")
+        if addr < 0 or addr + length > self.size_bytes:
+            raise AccessFault(f"access out of physical range: {addr:#x}+{length}")
+        if self._tzasc is not None and length:
+            self._tzasc.check(addr, length, world)
+
+    @staticmethod
+    def _spans(addr: int, length: int):
+        """Yield (output offset, page index, start, end) page spans."""
+        offset = 0
+        while offset < length:
+            cur = addr + offset
+            page, start = divmod(cur, PAGE_SIZE)
+            end = min(PAGE_SIZE, start + (length - offset))
+            yield offset, page, start, end
+            offset += end - start
+
+
+class TZASCLike:
+    """Protocol for the TZASC filter (structural typing helper)."""
+
+    def check(self, addr: int, length: int, world: str) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -1,0 +1,130 @@
+"""Page tables (stage-1 and stage-2).
+
+CRONUS's proceed-trap failover works entirely through page tables: the SPM
+invalidates stage-2 entries of memory shared with a failed partition so
+every later access *traps* instead of leaking data (paper section IV-D).
+We model a page table as an explicit page-indexed map; lookups on missing
+or invalidated entries raise :class:`PageFault` carrying enough context for
+the SPM's trap handler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class PagePermission(enum.Flag):
+    """Read/write permissions on one mapping."""
+
+    R = enum.auto()
+    W = enum.auto()
+    RW = R | W
+
+
+class PageFault(Exception):
+    """An access through a missing or invalidated translation."""
+
+    def __init__(self, message: str, *, page: int, table: str, invalidated: bool) -> None:
+        super().__init__(message)
+        self.page = page
+        self.table = table
+        self.invalidated = invalidated
+
+
+@dataclass
+class PageTableEntry:
+    """One translation: guest page -> physical page with permissions."""
+
+    phys_page: int
+    perm: PagePermission
+    valid: bool = True
+    shared_with: Optional[str] = None
+    """For stage-2 tables: the peer partition this page is shared with."""
+
+
+class PageTable:
+    """A page-indexed translation table with explicit invalidation."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def map(
+        self,
+        virt_page: int,
+        phys_page: int,
+        perm: PagePermission = PagePermission.RW,
+        *,
+        shared_with: Optional[str] = None,
+    ) -> None:
+        """Install a translation; remapping a live page is rejected."""
+        existing = self._entries.get(virt_page)
+        if existing is not None and existing.valid:
+            raise ValueError(f"{self.name}: page {virt_page:#x} already mapped")
+        self._entries[virt_page] = PageTableEntry(
+            phys_page=phys_page, perm=perm, shared_with=shared_with
+        )
+
+    def unmap(self, virt_page: int) -> None:
+        """Remove a translation entirely."""
+        self._entries.pop(virt_page, None)
+
+    def invalidate(self, virt_page: int) -> bool:
+        """Mark a translation invalid (it stays present so later accesses
+        fault as *invalidated*, distinguishing them from never-mapped
+        pages).  Returns True if an entry was invalidated."""
+        entry = self._entries.get(virt_page)
+        if entry is None or not entry.valid:
+            return False
+        entry.valid = False
+        return True
+
+    def revalidate(self, virt_page: int, phys_page: int, perm: PagePermission) -> None:
+        """Re-install a translation after recovery reassigns the page."""
+        self._entries[virt_page] = PageTableEntry(phys_page=phys_page, perm=perm)
+
+    def translate(self, virt_page: int, *, write: bool = False) -> int:
+        """Resolve ``virt_page`` or raise :class:`PageFault`."""
+        entry = self._entries.get(virt_page)
+        if entry is None:
+            raise PageFault(
+                f"{self.name}: no translation for page {virt_page:#x}",
+                page=virt_page,
+                table=self.name,
+                invalidated=False,
+            )
+        if not entry.valid:
+            raise PageFault(
+                f"{self.name}: translation for page {virt_page:#x} invalidated",
+                page=virt_page,
+                table=self.name,
+                invalidated=True,
+            )
+        needed = PagePermission.W if write else PagePermission.R
+        if not entry.perm & needed:
+            raise PageFault(
+                f"{self.name}: permission denied on page {virt_page:#x}",
+                page=virt_page,
+                table=self.name,
+                invalidated=False,
+            )
+        return entry.phys_page
+
+    def entry(self, virt_page: int) -> Optional[PageTableEntry]:
+        """Raw entry access (used by the SPM bookkeeping)."""
+        return self._entries.get(virt_page)
+
+    def entries(self) -> Iterator[Tuple[int, PageTableEntry]]:
+        """Iterate over (virt_page, entry) pairs."""
+        return iter(self._entries.items())
+
+    def pages_shared_with(self, peer: str) -> Tuple[int, ...]:
+        """Virtual pages whose entries are marked shared with ``peer``."""
+        return tuple(
+            page for page, e in self._entries.items() if e.shared_with == peer and e.valid
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

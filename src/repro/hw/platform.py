@@ -1,0 +1,152 @@
+"""Platform assembly.
+
+Wires the simulated testbed together the way CRONUS's QEMU prototype does
+(paper section V-A, table II): DRAM split into normal and secure regions by
+an emulated TZC-400, a secure PCIe bus for passthrough accelerators, an
+SMMU, a TZPC locking devices into the secure world, and a root-of-trust
+device.  Concrete accelerator models (GPU/NPU) are attached by the caller;
+see :mod:`repro.systems.testbed` for the standard configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.certs import CertificateAuthority
+from repro.hw.devices import Device
+from repro.hw.devicetree import DeviceTree, DeviceTreeNode
+from repro.hw.memory import PhysicalMemory, SECURE_WORLD
+from repro.hw.pcie import PCIeBus
+from repro.hw.rot import RootOfTrust
+from repro.hw.smmu import SMMU
+from repro.hw.tzasc import TZASC
+from repro.hw.tzpc import TZPC
+from repro.sim import CostModel, SimClock
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Sizes mirroring table II: 8 GiB normal + 4 GiB secure memory.
+
+    ``isolation`` selects the hardware isolation backend: ``"trustzone"``
+    (TZASC + TZPC, the paper's prototype) or ``"riscv-pmp"`` (the section
+    VII-A port: PMP entries provide the memory filter and SecureIO).
+    """
+
+    normal_memory_bytes: int = 8 * GiB
+    secure_memory_bytes: int = 4 * GiB
+    platform_seed: bytes = b"cronus-sim-platform"
+    isolation: str = "trustzone"
+
+
+class Platform:
+    """The complete simulated machine, before secure-world boot."""
+
+    def __init__(
+        self,
+        config: Optional[PlatformConfig] = None,
+        *,
+        clock: Optional[SimClock] = None,
+        costs: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config or PlatformConfig()
+        self.clock = clock or SimClock()
+        self.costs = costs or CostModel()
+
+        total = self.config.normal_memory_bytes + self.config.secure_memory_bytes
+        if self.config.isolation == "trustzone":
+            self.memory_guard = TZASC()
+            self.device_guard = TZPC()
+        elif self.config.isolation == "riscv-pmp":
+            from repro.hw.pmp import PmpDeviceGuard, PmpMemoryGuard, PmpUnit
+
+            pmp = PmpUnit()
+            self.memory_guard = PmpMemoryGuard(pmp)
+            self.device_guard = PmpDeviceGuard(pmp)
+        else:
+            raise ValueError(f"unknown isolation backend {self.config.isolation!r}")
+        # Historical aliases: the rest of the stack is backend-agnostic.
+        self.tzasc = self.memory_guard
+        self.tzpc = self.device_guard
+        from repro.hw.irq import InterruptController
+        from repro.metrics.trace import Tracer
+
+        self.gic = InterruptController()
+        self.tracer = Tracer(self.clock)  # opt-in: tracer.enabled = True
+        self.memory = PhysicalMemory(total, tzasc=self.memory_guard)
+        # Secure MemRegion sits above normal memory, out of normal range.
+        self.secure_base = self.config.normal_memory_bytes
+        self.memory_guard.configure_secure_region(
+            self.secure_base, self.config.secure_memory_bytes
+        )
+        self.smmu = SMMU()
+        self.secure_bus = PCIeBus(
+            "pcie-secure", self.memory, self.smmu, self.clock, self.costs,
+            secure=True, gic=self.gic,
+        )
+        self.attestation_service = CertificateAuthority(
+            "attestation-service", b"attestation-service-seed"
+        )
+        self.rot = RootOfTrust(self.config.platform_seed, self.attestation_service)
+        self.vendors: Dict[str, CertificateAuthority] = {}
+        self._devices: List[Device] = []
+        self._device_tree: Optional[DeviceTree] = None
+
+    # -- construction-time wiring -----------------------------------------
+    def register_vendor(self, name: str) -> CertificateAuthority:
+        """Create (or return) a hardware vendor CA, e.g. 'nvidia'."""
+        if name not in self.vendors:
+            self.vendors[name] = CertificateAuthority(name, f"vendor:{name}".encode())
+        return self.vendors[name]
+
+    def attach_device(self, device: Device, *, world: str = SECURE_WORLD) -> None:
+        """Enumerate a device on the secure bus and assign its world."""
+        self.secure_bus.attach(device)
+        register_mmio = getattr(self.device_guard, "register_mmio", None)
+        if register_mmio is not None:  # PMP backend guards MMIO windows
+            register_mmio(device.name, device.mmio.base, device.mmio.size)
+        self.device_guard.assign(device.name, world)
+        self._devices.append(device)
+
+    def devices(self) -> List[Device]:
+        return list(self._devices)
+
+    def device(self, name: str) -> Device:
+        return self.secure_bus.device(name)
+
+    # -- device tree -------------------------------------------------------
+    def build_device_tree(self) -> DeviceTree:
+        """Produce the DT the (untrusted) normal OS hands to the SPM."""
+        dt = DeviceTree(
+            [
+                DeviceTreeNode(
+                    name=d.name,
+                    device_type=d.device_type,
+                    mmio_base=d.mmio.base,
+                    mmio_size=d.mmio.size,
+                    irq=d.irq,
+                    world=self.tzpc.world_of(d.name),
+                )
+                for d in self._devices
+            ]
+        )
+        self._device_tree = dt
+        return dt
+
+    @property
+    def device_tree(self) -> DeviceTree:
+        if self._device_tree is None:
+            return self.build_device_tree()
+        return self._device_tree
+
+    # -- sizing helpers -----------------------------------------------------
+    def secure_page_range(self) -> range:
+        """Physical page numbers of the secure MemRegion."""
+        from repro.hw.memory import PAGE_SIZE
+
+        start = self.secure_base // PAGE_SIZE
+        end = (self.secure_base + self.config.secure_memory_bytes) // PAGE_SIZE
+        return range(start, end)

@@ -1,0 +1,46 @@
+"""Hardware root of trust (RoT).
+
+A read-only secret device holding the platform key pair (PubK, PvK), as in
+CRONUS's QEMU prototype ("we implement a device storing a read-only secret
+for PvK", paper section V-A).  Only the secure monitor may read the secret;
+it proves ownership of the root key to derive the attestation key AtK.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.certs import CertificateAuthority
+from repro.crypto.keys import KeyPair, PublicKey, generate_keypair
+from repro.hw.memory import AccessFault, SECURE_WORLD
+
+
+class RootOfTrust:
+    """ROM-backed platform identity."""
+
+    def __init__(self, platform_seed: bytes, attestation_service: CertificateAuthority) -> None:
+        self._platform_keys: KeyPair = generate_keypair(platform_seed, label="platform-rot")
+        self._attestation_service = attestation_service
+
+    @property
+    def public(self) -> PublicKey:
+        """PubK — publicly known platform identity."""
+        return self._platform_keys.public
+
+    def read_secret(self, *, world: str) -> KeyPair:
+        """Release the key pair, but only to the secure world (EL3)."""
+        if world != SECURE_WORLD:
+            raise AccessFault("RoT secret readable only from the secure world")
+        return self._platform_keys
+
+    def derive_attestation_key(self, *, world: str) -> KeyPair:
+        """Derive AtK from the root key; the attestation service endorses it.
+
+        Returns the derived key pair.  The endorsement certificate is
+        fetched via :meth:`endorse_attestation_key`.
+        """
+        root = self.read_secret(world=world)
+        seed = root.secret.to_bytes(96, "big") + b"attestation-key"
+        return generate_keypair(seed, label="AtK")
+
+    def endorse_attestation_key(self, atk_public: PublicKey):
+        """The attestation service endorses AtK (clients hold its anchor)."""
+        return self._attestation_service.endorse("AtK", atk_public)

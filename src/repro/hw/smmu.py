@@ -1,0 +1,73 @@
+"""System MMU (SMMU) for device DMA.
+
+Accelerators issue DMA through the SMMU; each device has a translation
+table installed by the SPM.  During failover the SPM invalidates the SMMU
+entries of pages shared with a failed partition (``spt2`` in paper section
+IV-D) so a malicious or stale device cannot scrape shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.pagetable import PageFault, PagePermission, PageTable
+
+
+class SMMUFault(Exception):
+    """DMA attempted through a missing or invalidated SMMU translation."""
+
+
+class SMMU:
+    """Per-device DMA translation tables."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, PageTable] = {}
+
+    def attach_device(self, device_name: str) -> PageTable:
+        """Create (or return) the translation table for a device."""
+        if device_name not in self._tables:
+            self._tables[device_name] = PageTable(name=f"smmu:{device_name}")
+        return self._tables[device_name]
+
+    def table_for(self, device_name: str) -> PageTable:
+        """The device's table; attaching implicitly keeps call sites simple."""
+        return self.attach_device(device_name)
+
+    def map(
+        self,
+        device_name: str,
+        iova_page: int,
+        phys_page: int,
+        perm: PagePermission = PagePermission.RW,
+        *,
+        shared_with: str = None,
+    ) -> None:
+        """Install a DMA translation for ``device_name``."""
+        self.table_for(device_name).map(iova_page, phys_page, perm, shared_with=shared_with)
+
+    def translate(self, device_name: str, iova_page: int, *, write: bool = False) -> int:
+        """Resolve a DMA address or raise :class:`SMMUFault`."""
+        try:
+            return self.table_for(device_name).translate(iova_page, write=write)
+        except PageFault as exc:
+            raise SMMUFault(f"SMMU fault for device {device_name!r}: {exc}") from exc
+
+    def invalidate_shared_with(self, device_name: str, peer: str) -> int:
+        """Invalidate every entry of ``device_name`` shared with partition
+        ``peer``; returns the number of entries touched (used to charge
+        recovery time)."""
+        table = self.table_for(device_name)
+        pages = table.pages_shared_with(peer)
+        for page in pages:
+            table.invalidate(page)
+        return len(pages)
+
+    def invalidate_all(self, device_name: str) -> int:
+        """Tear down every DMA translation of a device (device reset)."""
+        table = self.table_for(device_name)
+        count = 0
+        for page, entry in list(table.entries()):
+            if entry.valid:
+                table.invalidate(page)
+                count += 1
+        return count

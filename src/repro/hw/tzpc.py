@@ -1,0 +1,51 @@
+"""TrustZone Protection Controller (TZPC).
+
+The TZPC decides, per I/O device, whether the normal world may touch it
+(paper section II-A).  CRONUS locks all secure-world devices at boot to
+resist malicious reconfiguration (section V-A "Bootup of CRONUS"); moving a
+device between worlds afterwards requires a device-tree change and reboot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.memory import AccessFault, NORMAL_WORLD, SECURE_WORLD
+
+
+class TZPC:
+    """Per-device secure/normal assignment with lockdown."""
+
+    def __init__(self) -> None:
+        self._assignment: Dict[str, str] = {}
+        self._locked = False
+
+    def assign(self, device_name: str, world: str) -> None:
+        """Assign ``device_name`` to ``world`` ('secure' or 'normal')."""
+        if world not in (NORMAL_WORLD, SECURE_WORLD):
+            raise ValueError(f"unknown world {world!r}")
+        if self._locked:
+            raise AccessFault("TZPC is locked down; device reassignment rejected")
+        self._assignment[device_name] = world
+
+    def lock(self) -> None:
+        """Freeze assignments until (simulated) reboot."""
+        self._locked = True
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def world_of(self, device_name: str) -> str:
+        """World owning the device; unassigned devices default to normal."""
+        return self._assignment.get(device_name, NORMAL_WORLD)
+
+    def check(self, device_name: str, world: str) -> None:
+        """Fault if ``world`` touches a device assigned to the other world."""
+        owner = self.world_of(device_name)
+        if owner == SECURE_WORLD and world != SECURE_WORLD:
+            raise AccessFault(f"TZPC: normal world denied access to secure device {device_name!r}")
+
+    def snapshot(self) -> Dict[str, str]:
+        """Current assignment, included in attestation material."""
+        return dict(self._assignment)

@@ -1,0 +1,15 @@
+"""Measurement and reporting helpers for the benchmark harness."""
+
+from repro.metrics.report import format_table, normalize
+from repro.metrics.tcb import TCB_GROUPS, loc_of_modules, tcb_report
+from repro.metrics.trace import TraceEvent, Tracer
+
+__all__ = [
+    "format_table",
+    "normalize",
+    "TCB_GROUPS",
+    "loc_of_modules",
+    "tcb_report",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,26 @@
+"""Plain-text result tables, printed by every benchmark harness so the
+regenerated rows/series can be compared against the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def normalize(times: Dict[str, float], baseline: str) -> Dict[str, float]:
+    """Normalize a {system: time} mapping to one system (figure 7 style)."""
+    base = times[baseline]
+    if base <= 0:
+        raise ValueError(f"baseline {baseline!r} time must be positive")
+    return {name: t / base for name, t in times.items()}

@@ -1,0 +1,66 @@
+"""Simulated-time event tracing.
+
+A lightweight tracer operators can attach to a platform: components emit
+``(sim_time, component, event, detail)`` records for the security- and
+recovery-relevant transitions (boot, enclave lifecycle, channel setup,
+failures, recovery steps).  Tests use it to assert protocol *ordering*;
+the CLI can dump it for debugging.
+
+Tracing is opt-in and zero-cost when disabled: emit points call
+``platform.tracer.emit(...)`` through a no-op default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    time_us: float
+    component: str
+    event: str
+    detail: Any = None
+
+    def __str__(self) -> str:
+        extra = f" {self.detail}" if self.detail is not None else ""
+        return f"[{self.time_us:12.1f}us] {self.component}: {self.event}{extra}"
+
+
+class Tracer:
+    """Collects events when enabled; a no-op otherwise."""
+
+    def __init__(self, clock, *, enabled: bool = False, capacity: int = 100_000) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+
+    def emit(self, component: str, event: str, detail: Any = None) -> None:
+        if not self.enabled or len(self._events) >= self.capacity:
+            return
+        self._events.append(
+            TraceEvent(time_us=self._clock.now, component=component, event=event, detail=detail)
+        )
+
+    def events(self, *, component: Optional[str] = None, event: Optional[str] = None):
+        """The recorded events, optionally filtered."""
+        out = self._events
+        if component is not None:
+            out = [e for e in out if e.component == component]
+        if event is not None:
+            out = [e for e in out if e.event == event]
+        return list(out)
+
+    def sequence(self) -> List[str]:
+        """Just the event names, in order (for ordering assertions)."""
+        return [e.event for e in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

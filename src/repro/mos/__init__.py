@@ -1,0 +1,31 @@
+"""MicroOS (mOS): the per-partition operating system.
+
+Each mOS runs two layers (paper section III-A): an **Enclave Manager**
+(device-independent: enclave lifecycle, attestation, RPC endpoints) and a
+**Hardware Adaptation Layer** (device-specific: configuring, attesting,
+accessing and virtualizing the device).  The HAL hosts an off-the-shelf
+driver on top of a **shim kernel** that supplies the standard kernel
+functions (ioremap, page mapping, spinlocks) a Linux ``.ko`` expects —
+CRONUS's trick for supporting general accelerators without rewriting
+drivers (section IV-B).
+"""
+
+from repro.mos.shim import ShimKernel, SpinLock, LockError
+from repro.mos.hal import HAL, CpuHal, GpuHal, NpuHal, HalError, hal_for_device
+from repro.mos.manager import EnclaveManager, EnclaveManagerError
+from repro.mos.microos import MicroOS
+
+__all__ = [
+    "ShimKernel",
+    "SpinLock",
+    "LockError",
+    "HAL",
+    "CpuHal",
+    "GpuHal",
+    "NpuHal",
+    "HalError",
+    "hal_for_device",
+    "EnclaveManager",
+    "EnclaveManagerError",
+    "MicroOS",
+]

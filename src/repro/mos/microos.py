@@ -1,0 +1,55 @@
+"""The MicroOS.
+
+One mOS per partition per device.  mOSes boot at system startup (so
+mEnclaves never wait for them), are measured by the secure monitor at load
+time, and can be restarted independently by the SPM's recovery protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.platform import Platform
+from repro.mos.hal import hal_for_device
+from repro.mos.manager import EnclaveManager
+from repro.mos.shim import ShimKernel
+from repro.secure.monitor import SecureMonitor
+from repro.secure.partition import Partition
+from repro.secure.spm import SPM
+
+
+class MicroOS:
+    """An mOS instance: shim + HAL + Enclave Manager in one partition."""
+
+    def __init__(
+        self,
+        name: str,
+        image: bytes,
+        partition: Partition,
+        platform: Platform,
+        spm: SPM,
+        monitor: SecureMonitor,
+    ) -> None:
+        self.name = name
+        self.image = image
+        self.partition = partition
+        self.platform = platform
+        self.spm = spm
+        self.monitor = monitor
+        self.device_type = partition.device.device_type
+        self.shim = ShimKernel(partition, spm, platform.tzpc, gic=platform.gic)
+        self.hal = hal_for_device(partition.device, self.shim)
+        self.manager = EnclaveManager(self)
+        self.measurement_hex = monitor.measure_mos(name, image)
+
+    @property
+    def mos_id(self) -> int:
+        """The 8-bit mOS id embedded in eids (= the partition id)."""
+        return self.partition.partition_id
+
+    def tick(self) -> None:
+        """Heartbeat to the SPM watchdog (hang detection)."""
+        self.spm.heartbeat(self.partition.name)
+
+    def __repr__(self) -> str:
+        return f"MicroOS({self.name!r}, device={self.partition.device.name!r})"

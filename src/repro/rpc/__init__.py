@@ -1,0 +1,47 @@
+"""Inter-enclave RPC: streaming RPC (sRPC) and the baseline protocols.
+
+sRPC (paper section IV-C) is CRONUS's core performance/security mechanism:
+RPC records stream through a ring buffer in *trusted shared TEE memory*
+(attackers cannot read or forge them), the consumer drains on its own
+timeline (no context switches on the producer's fast path), and sync points
+join timelines.  A request index (Rid) and progress index (Sid) implement
+streamCheck; dCheck binds the channel to the DH secret so a substituted
+mOS/mEnclave cannot impersonate the peer; failures surface as
+:class:`~repro.secure.partition.PeerFailedSignal` and tear the stream down
+(the proceed-trap failover of section IV-D).
+
+The baselines reproduce the related-work protocols of section II-C:
+:class:`SyncRpcChannel` (lock-step over untrusted memory with MACs) and
+:class:`EncryptedRpcChannel` (HIX-style: encryption + acknowledgements).
+"""
+
+from repro.rpc.ringbuffer import RingBufferError, SharedRingBuffer
+from repro.rpc.channel import (
+    ChannelError,
+    EnclaveEndpoint,
+    SRPCChannel,
+    SRPCPeerFailure,
+)
+from repro.rpc.baselines import (
+    EncryptedRpcChannel,
+    RpcIntegrityError,
+    SyncRpcChannel,
+    UntrustedTransport,
+)
+from repro.rpc.pipe import PipeBrokenError, PipeError, TrustedPipe
+
+__all__ = [
+    "SharedRingBuffer",
+    "RingBufferError",
+    "SRPCChannel",
+    "SRPCPeerFailure",
+    "ChannelError",
+    "EnclaveEndpoint",
+    "SyncRpcChannel",
+    "EncryptedRpcChannel",
+    "UntrustedTransport",
+    "RpcIntegrityError",
+    "TrustedPipe",
+    "PipeError",
+    "PipeBrokenError",
+]

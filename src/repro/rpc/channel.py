@@ -1,0 +1,365 @@
+"""The streaming RPC (sRPC) channel.
+
+Channel setup follows figure 6 of the paper: local attestation of the
+callee, SPM-brokered sharing of the ring pages, then dCheck — a
+challenge/response over the *shared memory itself* proving the peer holds
+``secret_dhke``, which defeats mOS-substitution during the setup window.
+
+The fast path (section IV-C): asynchronous mECalls are serialized into the
+trusted ring buffer and return immediately; a consumer thread (modelled as
+a :class:`~repro.sim.Timeline`) drains and executes them, bumping the
+progress index Sid.  Synchronous mECalls join the consumer timeline, verify
+streamCheck (Sid == Rid), and read the result from the response mailbox.
+
+Multi-threading: "CRONUS makes each thread create its own stream for RPCs"
+— a channel hosts any number of :class:`_Stream` objects (each with its
+own ring, mailbox, consumer thread and Rid/Sid), created on demand by
+``stream_id``; stream 0 is the default.
+
+Failover (section IV-D): any access to memory shared with a failed
+partition traps in the SPM and surfaces as ``PeerFailedSignal``; the
+channel catches it, clears stream state, and raises
+:class:`SRPCPeerFailure` — no data leak (A1), no deadlock (A2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.crypto.dh import mac_valid
+from repro.enclave.menclave import MEnclave
+from repro.enclave.models import ExecutionError
+from repro.hw.memory import PAGE_SIZE
+from repro.rpc.ringbuffer import RingBufferError, SharedRingBuffer
+from repro.secure.partition import Partition, PeerFailedSignal
+from repro.sim import Timeline
+
+
+class ChannelError(Exception):
+    """Setup failure: attestation mismatch, dCheck failure, bad grant."""
+
+
+class SRPCPeerFailure(Exception):
+    """The peer's partition failed; the stream was torn down cleanly."""
+
+    def __init__(self, peer: str) -> None:
+        super().__init__(f"sRPC peer partition {peer!r} failed; stream closed")
+        self.peer = peer
+
+
+@dataclass
+class EnclaveEndpoint:
+    """One side of a channel: an mEnclave plus the mOS hosting it."""
+
+    enclave: MEnclave
+    mos: Any  # MicroOS (duck-typed to avoid an import cycle)
+
+    @property
+    def partition(self) -> Partition:
+        return self.mos.partition
+
+
+class _Stream:
+    """One per-thread mECall stream: ring + mailbox + consumer thread."""
+
+    MAILBOX_PAGES = 1
+
+    def __init__(self, channel: "SRPCChannel", stream_id: int, ring_pages: int) -> None:
+        self._channel = channel
+        self.stream_id = stream_id
+        self.grant, self.ring, self.mailbox_base = self._setup_smem(ring_pages)
+        self._dcheck()
+        self.consumer = Timeline(
+            channel._platform.clock,
+            name=f"srpc:{channel.callee.enclave.eid:#x}/s{stream_id}",
+        )
+        self.thread_started = False
+
+    # -- setup -----------------------------------------------------------
+    def _setup_smem(self, ring_pages: int):
+        """Allocate + share the ring and mailbox pages (figure 6 steps).
+
+        Inter-mOS sharing goes through the SPM (stage-2 + SMMU mapping);
+        intra-mOS sharing — both enclaves in the same partition — simply
+        maps both sides onto the same physical pages (section IV-C).
+        """
+        channel = self._channel
+        total = ring_pages + self.MAILBOX_PAGES
+        pages = tuple(sorted(channel.caller.mos.shim.alloc_pages(total)))
+        if channel.caller.partition is channel.callee.partition:
+            grant = None  # intra-mOS: no stage-2 grant needed
+        else:
+            grant = channel._spm.share_pages(
+                channel.caller.partition, channel.callee.partition, pages
+            )
+        ring = SharedRingBuffer(
+            channel.caller.partition, channel.callee.partition, pages[:-1]
+        )
+        mailbox_base = pages[-1] * PAGE_SIZE
+        return grant, ring, mailbox_base
+
+    def _dcheck(self) -> None:
+        """Prove through the shared memory that the peer holds secret_dhke."""
+        channel = self._channel
+        challenge = hashlib.sha256(
+            f"dcheck:{channel.caller.enclave.eid}:{channel.callee.enclave.eid}"
+            f":{self.stream_id}".encode()
+        ).digest()
+        channel.caller.partition.write(self.mailbox_base, challenge)
+        seen = channel.callee.partition.read(self.mailbox_base, len(challenge))
+        response = channel.callee.enclave.prove_secret(seen)
+        channel.callee.partition.write(self.mailbox_base, response)
+        echoed = channel.caller.partition.read(self.mailbox_base, len(response))
+        if not mac_valid(channel._secret, b"dcheck" + challenge, echoed):
+            raise ChannelError("dCheck failed: peer does not hold secret_dhke")
+
+    # -- data path ---------------------------------------------------------
+    def enqueue(self, record: bytes) -> None:
+        costs = self._channel._platform.costs
+        if not self.thread_started:
+            # The normal world spawns this stream's consumer thread on
+            # first use (streams are created on demand, section IV-C).
+            self._channel._platform.clock.advance(costs.thread_spawn_us)
+            self.thread_started = True
+        self._channel._platform.clock.advance(costs.srpc_enqueue_us(len(record)))
+        try:
+            self.ring.push(record)
+        except RingBufferError:
+            self._expand_smem(len(record))
+            self.ring.push(record)
+
+    def drain_one(self) -> Any:
+        """The consumer execution loop body: fetch, execute, bump Sid."""
+        record = self.ring.pop()
+        if record is None:
+            raise ChannelError("consumer found an empty ring (corrupt stream)")
+        fn, args, kwargs = pickle.loads(record)
+        costs = self._channel._platform.costs
+        self.consumer.submit(
+            costs.enclave_entry_us
+            + costs.copy_cost_us(len(record), per_kib=costs.smem_us_per_kib)
+        )
+        result = self._channel.callee.enclave.mecall_trusted(fn, args, kwargs)
+        self.ring.bump_sid()
+        return result
+
+    def read_mailbox_result(self, result: Any) -> Any:
+        """Synchronous results travel back through the trusted mailbox."""
+        channel = self._channel
+        blob = pickle.dumps(result)
+        if len(blob) + 4 > self.MAILBOX_PAGES * PAGE_SIZE:
+            # Big results (e.g. a tensor) are staged through freshly shared
+            # pages; the timing equivalent is one smem copy of that size.
+            channel._platform.clock.advance(
+                channel._platform.costs.copy_cost_us(
+                    len(blob), per_kib=channel._platform.costs.smem_us_per_kib
+                )
+            )
+            return result
+        channel.callee.partition.write(
+            self.mailbox_base, len(blob).to_bytes(4, "big") + blob
+        )
+        raw_len = int.from_bytes(channel.caller.partition.read(self.mailbox_base, 4), "big")
+        raw = channel.caller.partition.read(self.mailbox_base + 4, raw_len)
+        return pickle.loads(raw)
+
+    def _expand_smem(self, need_bytes: int) -> None:
+        """Out-of-memory rule: expand smem and re-run dCheck (section IV-C)."""
+        channel = self._channel
+        extra_pages = max(1, (need_bytes + 4) // PAGE_SIZE + 1)
+        old_pages = self.smem_pages()
+        if self.grant is not None:
+            channel._spm.reclaim_grant(self.grant)
+        channel.caller.mos.shim.free_pages(old_pages)
+        self.grant, self.ring, self.mailbox_base = self._setup_smem(
+            len(old_pages) - self.MAILBOX_PAGES + extra_pages
+        )
+        self._dcheck()
+
+    def smem_pages(self) -> Tuple[int, ...]:
+        if self.grant is not None:
+            return self.grant.pages
+        first = self.ring._pages[0]
+        last = self.mailbox_base // PAGE_SIZE
+        return tuple(range(first, last + 1))
+
+    def release(self) -> None:
+        channel = self._channel
+        self.consumer.join()
+        if self.grant is not None:
+            channel._spm.reclaim_grant(self.grant)
+        try:
+            channel.caller.mos.shim.free_pages(self.smem_pages())
+        except Exception:
+            pass  # pages may already be reclaimed after a failure
+
+
+class SRPCChannel:
+    """One-directional mECall streaming from ``caller`` into ``callee``."""
+
+    MAILBOX_PAGES = _Stream.MAILBOX_PAGES
+
+    def __init__(
+        self,
+        caller: EnclaveEndpoint,
+        callee: EnclaveEndpoint,
+        secret: bytes,
+        spm,
+        *,
+        ring_pages: int = 31,
+        expected_measurement: Optional[bytes] = None,
+    ) -> None:
+        self.caller = caller
+        self.callee = callee
+        self._secret = secret
+        self._spm = spm
+        self._platform = caller.mos.platform
+        self._ring_pages = ring_pages
+        self._failed_peer: Optional[str] = None
+        self._closed = False
+        self.calls_streamed = 0
+        self.sync_points = 0
+
+        self._attest_peer(expected_measurement)
+        self._streams: Dict[int, _Stream] = {0: _Stream(self, 0, ring_pages)}
+        # Register with both mOSes so enclave-level failures tear the
+        # channel down (section IV-D, "Handling mEnclave failures").
+        callee.mos.manager.register_channel(callee.enclave.eid, self)
+        if caller.enclave is not None:
+            caller.mos.manager.register_channel(caller.enclave.eid, self)
+        self._platform.tracer.emit(
+            "srpc", "channel-open",
+            f"{getattr(caller.enclave, 'eid', 0):#010x} -> {callee.enclave.eid:#010x}",
+        )
+
+    # -- setup steps ------------------------------------------------------
+    def _attest_peer(self, expected_measurement: Optional[bytes]) -> None:
+        """Local attestation (automatic in CRONUS, section IV-C)."""
+        report = self.callee.mos.manager.local_report(self.callee.enclave.eid)
+        monitor = self.callee.mos.monitor
+        if not monitor.verify_local_report(report):
+            raise ChannelError("local attestation report not endorsed by this machine's SPM")
+        if report.partition != self.callee.partition.name:
+            raise ChannelError("local attestation partition mismatch")
+        if expected_measurement is not None and report.measurement != expected_measurement:
+            raise ChannelError("peer mEnclave measurement mismatch")
+
+    def stream(self, stream_id: int) -> _Stream:
+        """The per-thread stream, created on demand (with its own smem,
+        dCheck and consumer thread)."""
+        if stream_id not in self._streams:
+            self._streams[stream_id] = _Stream(self, stream_id, self._ring_pages)
+        return self._streams[stream_id]
+
+    def stream_count(self) -> int:
+        return len(self._streams)
+
+    # -- the RPC fast path -----------------------------------------------------
+    def call(self, fn: str, *args: Any, stream: int = 0, **kwargs: Any) -> Any:
+        """Issue one mECall on ``stream``; blocks only if it is synchronous."""
+        self._require_usable()
+        synchronous = self.callee.enclave.is_synchronous(fn)
+        record = pickle.dumps((fn, args, kwargs))
+        try:
+            s = self.stream(stream)
+            s.enqueue(record)
+            self.calls_streamed += 1
+            result = s.drain_one()
+            if synchronous:
+                self.sync_points += 1
+                s.consumer.join()
+                if not s.ring.stream_check():
+                    raise ChannelError(
+                        f"streamCheck failed: Rid={s.ring.rid} Sid={s.ring.sid}"
+                    )
+                return s.read_mailbox_result(result)
+            return None
+        except PeerFailedSignal as signal:
+            self._on_peer_failure(signal)
+            raise SRPCPeerFailure(signal.peer_partition) from signal
+        except ExecutionError as exc:
+            if "destroyed" in str(exc):
+                # Intra-partition enclave failure: no stage-2 trap fires,
+                # but the dead executor surfaces the same way to callers.
+                self._failed_peer = f"enclave {self.callee.enclave.eid:#010x}"
+                for s in self._streams.values():
+                    s.consumer.reset()
+                raise SRPCPeerFailure(self._failed_peer) from exc
+            raise
+
+    # -- failure + teardown -------------------------------------------------------
+    def _on_peer_failure(self, signal: PeerFailedSignal) -> None:
+        """sRPC automatically clears state when getting the signal, and —
+        per the section IV-D reclamation rule — returns the caller-owned
+        shared pages to the allocator once the stream terminates."""
+        self._failed_peer = signal.peer_partition
+        self._platform.tracer.emit("srpc", "channel-failed", signal.peer_partition)
+        for s in self._streams.values():
+            s.consumer.reset()
+            self._reclaim_stream_pages(s)
+
+    def _reclaim_stream_pages(self, stream: _Stream) -> None:
+        """Free this stream's smem pages if the caller's partition owns
+        them (the peer failed; nothing will drain the ring again).  Pages
+        owned by the *failed* partition are left for its own recovery."""
+        owner_name = self.caller.partition.name
+        pages = tuple(
+            p for p in stream.smem_pages() if self._spm.owner_of(p) == owner_name
+        )
+        if not pages:
+            return
+        if stream.grant is not None:
+            self._spm.reclaim_grant(stream.grant)
+        try:
+            self.caller.mos.shim.free_pages(pages)
+        except Exception:
+            pass  # the caller's own partition may be mid-recovery
+
+    @property
+    def failed(self) -> bool:
+        return self._failed_peer is not None
+
+    def _require_usable(self) -> None:
+        if self._closed:
+            raise ChannelError("channel closed")
+        if self._failed_peer is not None:
+            raise SRPCPeerFailure(self._failed_peer)
+
+    def synchronize(self, stream: Optional[int] = None) -> None:
+        """Join one stream's consumer, or all of them (device-sync analog)."""
+        self._require_usable()
+        targets = self._streams.values() if stream is None else [self.stream(stream)]
+        for s in targets:
+            s.consumer.join()
+
+    def close(self) -> None:
+        """Close every stream: join, streamCheck, reclaim the shared pages."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._failed_peer is None:
+            for s in self._streams.values():
+                s.release()
+
+    # -- backward-compatible single-stream accessors -------------------------
+    @property
+    def _ring(self) -> SharedRingBuffer:
+        return self._streams[0].ring
+
+    @property
+    def _grant(self):
+        return self._streams[0].grant
+
+    @property
+    def _mailbox_base(self) -> int:
+        return self._streams[0].mailbox_base
+
+    @property
+    def _consumer(self) -> Timeline:
+        return self._streams[0].consumer
+
+    def _smem_pages(self) -> Tuple[int, ...]:
+        return self._streams[0].smem_pages()

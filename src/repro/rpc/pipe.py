@@ -1,0 +1,165 @@
+"""Trusted pipes: inter-enclave byte streams over trusted shared memory.
+
+"Besides RPC, trusted shared memory can also be used for implementing
+other inter-enclave communication approaches (e.g., pipe and peer-to-peer
+accelerator communication)" — paper section IV-C.  A :class:`TrustedPipe`
+is a one-directional byte stream between two mEnclaves guarded by a
+spinlock, both living in SPM-shared pages.
+
+Crash safety (section IV-D): the proceed-trap protocol covers these pages
+like any other shared memory, but — unlike sRPC, which clears its own
+state — "mEnclaves using trusted shared memory for other purposes ...
+requires the mEnclave developers to write trap handlers for failures".
+Applications register such a handler with :meth:`on_peer_failure`; it
+fires when a read/write traps because the peer's partition died.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from repro.hw.memory import PAGE_SIZE
+from repro.mos.shim import SpinLock
+from repro.rpc.channel import EnclaveEndpoint
+from repro.secure.partition import PeerFailedSignal
+
+
+class PipeError(Exception):
+    """Pipe misuse: overflow without a reader, closed pipe."""
+
+
+class PipeBrokenError(Exception):
+    """The peer's partition failed; raised after the trap handler ran."""
+
+    def __init__(self, peer: str) -> None:
+        super().__init__(f"pipe peer partition {peer!r} failed")
+        self.peer = peer
+
+
+_HEADER = 24  # head u64 | tail u64 | lock byte (padded)
+_OFF_HEAD = 0
+_OFF_TAIL = 8
+_OFF_LOCK = 16
+
+
+class TrustedPipe:
+    """A single-producer single-consumer byte pipe in trusted shared memory.
+
+    The writer is the page owner (its mOS allocated them); the reader's
+    partition receives an SPM grant.  Every access goes through real
+    stage-2 translations, so partition failures trap exactly as sRPC's do.
+    """
+
+    def __init__(
+        self,
+        writer: EnclaveEndpoint,
+        reader: EnclaveEndpoint,
+        spm,
+        *,
+        pages: int = 4,
+    ) -> None:
+        self.writer = writer
+        self.reader = reader
+        self._spm = spm
+        page_ids = tuple(sorted(writer.mos.shim.alloc_pages(pages)))
+        if writer.partition is not reader.partition:
+            self._grant = spm.share_pages(writer.partition, reader.partition, page_ids)
+        else:
+            self._grant = None
+        self._pages = page_ids
+        self._base = page_ids[0] * PAGE_SIZE
+        self.capacity = pages * PAGE_SIZE - _HEADER
+        writer.partition.write(self._base, b"\x00" * _HEADER)
+        self._lock_writer = SpinLock(writer.partition, self._base + _OFF_LOCK)
+        self._lock_reader = SpinLock(reader.partition, self._base + _OFF_LOCK)
+        self._on_peer_failure: Optional[Callable[[str], None]] = None
+        self._broken: Optional[str] = None
+        self._closed = False
+
+    # -- failure handling ---------------------------------------------------
+    def on_peer_failure(self, handler: Callable[[str], None]) -> None:
+        """Register the developer's trap handler (section IV-D)."""
+        self._on_peer_failure = handler
+
+    def _trap(self, signal: PeerFailedSignal) -> PipeBrokenError:
+        self._broken = signal.peer_partition
+        if self._on_peer_failure is not None:
+            self._on_peer_failure(signal.peer_partition)
+        return PipeBrokenError(signal.peer_partition)
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise PipeError("pipe closed")
+        if self._broken is not None:
+            raise PipeBrokenError(self._broken)
+
+    # -- byte stream ----------------------------------------------------------
+    def _u64(self, partition, offset: int) -> int:
+        return int.from_bytes(partition.read(self._base + offset, 8), "big")
+
+    def _set_u64(self, partition, offset: int, value: int) -> None:
+        partition.write(self._base + offset, value.to_bytes(8, "big"))
+
+    def free_bytes(self) -> int:
+        head = self._u64(self.writer.partition, _OFF_HEAD)
+        tail = self._u64(self.writer.partition, _OFF_TAIL)
+        return self.capacity - ((tail - head) % self.capacity) - 1
+
+    def write(self, data: bytes) -> int:
+        """Append bytes (under the shared lock); returns bytes written."""
+        self._require_open()
+        try:
+            self._lock_writer.acquire()
+            try:
+                if len(data) > self.free_bytes():
+                    raise PipeError(
+                        f"pipe full: {len(data)} bytes > {self.free_bytes()} free"
+                    )
+                tail = self._u64(self.writer.partition, _OFF_TAIL)
+                first = min(len(data), self.capacity - tail)
+                self.writer.partition.write(self._base + _HEADER + tail, data[:first])
+                if first < len(data):
+                    self.writer.partition.write(self._base + _HEADER, data[first:])
+                self._set_u64(
+                    self.writer.partition, _OFF_TAIL, (tail + len(data)) % self.capacity
+                )
+                return len(data)
+            finally:
+                self._lock_writer.release()
+        except PeerFailedSignal as signal:
+            raise self._trap(signal) from signal
+
+    def read(self, max_bytes: int = 1 << 20) -> bytes:
+        """Consume up to ``max_bytes`` (under the shared lock)."""
+        self._require_open()
+        try:
+            self._lock_reader.acquire()
+            try:
+                head = self._u64(self.reader.partition, _OFF_HEAD)
+                tail = self._u64(self.reader.partition, _OFF_TAIL)
+                available = (tail - head) % self.capacity
+                count = min(available, max_bytes)
+                first = min(count, self.capacity - head)
+                data = self.reader.partition.read(self._base + _HEADER + head, first)
+                if first < count:
+                    data += self.reader.partition.read(self._base + _HEADER, count - first)
+                self._set_u64(
+                    self.reader.partition, _OFF_HEAD, (head + count) % self.capacity
+                )
+                return data
+            finally:
+                self._lock_reader.release()
+        except PeerFailedSignal as signal:
+            raise self._trap(signal) from signal
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._broken is None:
+            if self._grant is not None:
+                self._spm.reclaim_grant(self._grant)
+            try:
+                self.writer.mos.shim.free_pages(self._pages)
+            except Exception:
+                pass  # reclaimed during recovery

@@ -1,0 +1,140 @@
+"""A byte ring buffer over trusted shared memory.
+
+The buffer lives in pages owned by the producer's partition and shared into
+the consumer's partition by the SPM, so *every* access below goes through a
+real stage-2 translation: when either partition fails and the SPM
+invalidates the mapping, the next ``push``/``pop`` traps and surfaces
+:class:`~repro.secure.partition.PeerFailedSignal` — the property the sRPC
+failover protocol builds on.
+
+Layout: a 32-byte header (Rid, Sid, head, tail as big-endian u64) followed
+by length-prefixed records in a circular byte region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.hw.memory import PAGE_SIZE
+from repro.secure.partition import Partition
+
+_HEADER = 32
+_U64 = 8
+_OFF_RID = 0
+_OFF_SID = 8
+_OFF_HEAD = 16
+_OFF_TAIL = 24
+
+
+class RingBufferError(Exception):
+    """Overflow or malformed record."""
+
+
+class SharedRingBuffer:
+    """One producer / one consumer ring over shared pages."""
+
+    def __init__(
+        self,
+        producer: Partition,
+        consumer: Partition,
+        pages: Tuple[int, ...],
+    ) -> None:
+        if not pages:
+            raise RingBufferError("ring buffer needs at least one page")
+        # Identity IPA mapping means both sides address the same numbers.
+        self._producer = producer
+        self._consumer = consumer
+        self._pages = tuple(sorted(pages))
+        for a, b in zip(self._pages, self._pages[1:]):
+            if b != a + 1:
+                raise RingBufferError("ring buffer pages must be contiguous")
+        self._base = self._pages[0] * PAGE_SIZE
+        self.capacity = len(pages) * PAGE_SIZE - _HEADER
+        # Initialize the header through the producer's mapping.
+        producer.write(self._base, b"\x00" * _HEADER)
+
+    # -- header fields ---------------------------------------------------
+    def _read_u64(self, partition: Partition, offset: int) -> int:
+        return int.from_bytes(partition.read(self._base + offset, _U64), "big")
+
+    def _write_u64(self, partition: Partition, offset: int, value: int) -> None:
+        partition.write(self._base + offset, value.to_bytes(_U64, "big"))
+
+    @property
+    def rid(self) -> int:
+        """Request index: records pushed by the producer."""
+        return self._read_u64(self._producer, _OFF_RID)
+
+    @property
+    def sid(self) -> int:
+        """Progress index: records executed by the consumer."""
+        return self._read_u64(self._producer, _OFF_SID)
+
+    def bump_sid(self) -> int:
+        """Consumer marks one record executed (Sid += 1, section IV-C)."""
+        sid = self._read_u64(self._consumer, _OFF_SID) + 1
+        self._write_u64(self._consumer, _OFF_SID, sid)
+        return sid
+
+    def stream_check(self) -> bool:
+        """streamCheck: all submitted requests have executed (Sid == Rid)."""
+        return self.rid == self.sid
+
+    # -- data region -------------------------------------------------------
+    def free_bytes(self) -> int:
+        head = self._read_u64(self._producer, _OFF_HEAD)
+        tail = self._read_u64(self._producer, _OFF_TAIL)
+        used = (tail - head) % self.capacity
+        return self.capacity - used - 1
+
+    def push(self, record: bytes) -> int:
+        """Producer appends one length-prefixed record; returns new Rid.
+
+        Raises :class:`RingBufferError` if the record does not fit — the
+        channel responds by expanding smem (with a fresh dCheck), per the
+        paper's out-of-memory rule.
+        """
+        need = len(record) + 4
+        if need > self.free_bytes():
+            raise RingBufferError(
+                f"record of {len(record)} bytes does not fit "
+                f"(free={self.free_bytes()}, capacity={self.capacity})"
+            )
+        tail = self._read_u64(self._producer, _OFF_TAIL)
+        payload = len(record).to_bytes(4, "big") + record
+        self._write_circular(self._producer, tail, payload)
+        self._write_u64(self._producer, _OFF_TAIL, (tail + need) % self.capacity)
+        rid = self._read_u64(self._producer, _OFF_RID) + 1
+        self._write_u64(self._producer, _OFF_RID, rid)
+        return rid
+
+    def pop(self) -> Optional[bytes]:
+        """Consumer removes the oldest record (None if the ring is empty)."""
+        head = self._read_u64(self._consumer, _OFF_HEAD)
+        tail = self._read_u64(self._consumer, _OFF_TAIL)
+        if head == tail:
+            return None
+        length = int.from_bytes(self._read_circular(self._consumer, head, 4), "big")
+        if length > self.capacity:
+            raise RingBufferError(f"corrupt record length {length}")
+        record = self._read_circular(self._consumer, (head + 4) % self.capacity, length)
+        self._write_u64(self._consumer, _OFF_HEAD, (head + 4 + length) % self.capacity)
+        return record
+
+    def pending(self) -> int:
+        """Records pushed but not yet executed."""
+        return self.rid - self.sid
+
+    # -- circular byte helpers -------------------------------------------------
+    def _write_circular(self, partition: Partition, offset: int, data: bytes) -> None:
+        first = min(len(data), self.capacity - offset)
+        partition.write(self._base + _HEADER + offset, data[:first])
+        if first < len(data):
+            partition.write(self._base + _HEADER, data[first:])
+
+    def _read_circular(self, partition: Partition, offset: int, length: int) -> bytes:
+        first = min(length, self.capacity - offset)
+        data = partition.read(self._base + _HEADER + offset, first)
+        if first < length:
+            data += partition.read(self._base + _HEADER, length - first)
+        return data

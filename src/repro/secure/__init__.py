@@ -1,0 +1,25 @@
+"""The secure world: Secure Monitor (EL3) and Secure Partition Manager.
+
+The Secure Monitor boots first, validates and freezes the device tree,
+locks the TZASC/TZPC, and derives the attestation key from the hardware
+root of trust.  The SPM (the S-EL2 hypervisor in the paper, Hafnium-based
+in the prototype) isolates partitions with stage-2 page tables, brokers
+trusted shared memory between them, and drives the proceed-trap failure
+recovery protocol of paper section IV-D.
+"""
+
+from repro.secure.partition import Partition, PartitionState, PeerFailedSignal
+from repro.secure.monitor import SecureMonitor, AttestationReport, AttestationError
+from repro.secure.spm import SPM, SPMError, ShareGrant
+
+__all__ = [
+    "Partition",
+    "PartitionState",
+    "PeerFailedSignal",
+    "SecureMonitor",
+    "AttestationReport",
+    "AttestationError",
+    "SPM",
+    "SPMError",
+    "ShareGrant",
+]

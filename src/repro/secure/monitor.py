@@ -1,0 +1,213 @@
+"""Secure Monitor (EL3).
+
+Boots the secure world: validates and freezes the device tree, locks the
+TZASC/TZPC so the normal OS cannot reconfigure isolation, derives the
+attestation key (AtK) by proving ownership of the platform root key, and
+measures mOS images.  It signs the complete attestation report
+``(hash(mEnclave), hash(mOS), DT, PubK_acc)`` with AtK (paper section
+IV-A) and endorses local-attestation reports with the local seal key LSK.
+"""
+
+from __future__ import annotations
+
+import hmac as _hmac
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.crypto.certs import Certificate, CertificateError, verify_certificate
+from repro.crypto.keys import KeyPair, PublicKey, Signature, SignatureError
+from repro.crypto.hashing import measure
+from repro.hw.devicetree import DeviceTree, DeviceTreeError
+from repro.hw.memory import SECURE_WORLD
+from repro.hw.platform import Platform
+
+
+class AttestationError(Exception):
+    """Attestation failed: bad DT, unendorsed key, wrong measurement."""
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """The signed closure of software and hardware state a client verifies."""
+
+    menclave_hashes: Dict[str, str]
+    mos_hashes: Dict[str, str]
+    device_tree_blob: bytes
+    accelerator_keys: Dict[str, bytes]  # device name -> PubK_acc fingerprint
+    signature: Signature = None
+    atk_certificate: Certificate = None
+
+    def payload(self) -> bytes:
+        body = {
+            "menclaves": dict(sorted(self.menclave_hashes.items())),
+            "moses": dict(sorted(self.mos_hashes.items())),
+            "dt": self.device_tree_blob.hex(),
+            "accelerators": {k: v.hex() for k, v in sorted(self.accelerator_keys.items())},
+        }
+        return json.dumps(body, sort_keys=True).encode()
+
+
+@dataclass(frozen=True)
+class LocalReport:
+    """A local attestation report endorsed by the monitor's seal key."""
+
+    enclave_eid: int
+    measurement: bytes
+    partition: str
+    tag: bytes
+
+
+class SecureMonitor:
+    """EL3 firmware: boot, measurement, attestation."""
+
+    def __init__(self, platform: Platform) -> None:
+        self._platform = platform
+        self._atk: Optional[KeyPair] = None
+        self._atk_cert: Optional[Certificate] = None
+        self._dt_blob: Optional[bytes] = None
+        self._mos_hashes: Dict[str, str] = {}
+        # Local seal key (LSK): derived at boot, never leaves EL3.
+        self._lsk: Optional[bytes] = None
+        self.booted = False
+
+    # -- boot -----------------------------------------------------------
+    def boot(self, device_tree: DeviceTree) -> None:
+        """Secure boot: validate DT, lock isolation hardware, derive AtK.
+
+        The DT is retrieved once here and frozen; adding or removing
+        accelerators requires a (simulated) reboot (paper section IV-A).
+        """
+        if self.booted:
+            raise AttestationError("secure monitor already booted; reboot required")
+        try:
+            device_tree.validate()
+        except DeviceTreeError as exc:
+            raise AttestationError(f"device tree rejected at boot: {exc}") from exc
+        self._dt_blob = device_tree.serialize()
+        self._platform.tzasc.lock()
+        self._platform.tzpc.lock()
+        rot = self._platform.rot
+        self._atk = rot.derive_attestation_key(world=SECURE_WORLD)
+        self._atk_cert = rot.endorse_attestation_key(self._atk.public)
+        root = rot.read_secret(world=SECURE_WORLD)
+        self._lsk = hashlib.sha256(root.secret.to_bytes(96, "big") + b"LSK").digest()
+        self.booted = True
+        self._platform.tracer.emit("monitor", "secure-boot", f"{len(device_tree)} DT nodes")
+
+    @property
+    def device_tree_blob(self) -> bytes:
+        self._require_boot()
+        return self._dt_blob
+
+    # -- measurement -------------------------------------------------------
+    def measure_mos(self, mos_name: str, image: bytes) -> str:
+        """Measure an mOS image at load time; returns the hex hash."""
+        self._require_boot()
+        digest = measure(image).hex()
+        self._mos_hashes[mos_name] = digest
+        self._platform.tracer.emit("monitor", "measure-mos", mos_name)
+        return digest
+
+    def mos_measurements(self) -> Dict[str, str]:
+        return dict(self._mos_hashes)
+
+    # -- remote attestation ---------------------------------------------------
+    def attest(
+        self,
+        menclave_hashes: Dict[str, str],
+        accelerator_keys: Dict[str, PublicKey],
+    ) -> AttestationReport:
+        """Produce the signed platform attestation report."""
+        self._require_boot()
+        draft = AttestationReport(
+            menclave_hashes=dict(menclave_hashes),
+            mos_hashes=dict(self._mos_hashes),
+            device_tree_blob=self._dt_blob,
+            accelerator_keys={name: key.fingerprint() for name, key in accelerator_keys.items()},
+        )
+        signature = self._atk.sign(draft.payload())
+        self._platform.clock.advance(self._platform.costs.attestation_us)
+        return AttestationReport(
+            menclave_hashes=draft.menclave_hashes,
+            mos_hashes=draft.mos_hashes,
+            device_tree_blob=draft.device_tree_blob,
+            accelerator_keys=draft.accelerator_keys,
+            signature=signature,
+            atk_certificate=self._atk_cert,
+        )
+
+    # -- local attestation ---------------------------------------------------
+    def seal_local_report(self, enclave_eid: int, measurement: bytes, partition: str) -> LocalReport:
+        """Endorse a local report with LSK (requested by an attested mEnclave
+        through its mOS; paper section IV-A, local attestation step 2)."""
+        self._require_boot()
+        tag = _hmac.new(
+            self._lsk,
+            enclave_eid.to_bytes(4, "big") + measurement + partition.encode(),
+            hashlib.sha256,
+        ).digest()
+        return LocalReport(
+            enclave_eid=enclave_eid, measurement=measurement, partition=partition, tag=tag
+        )
+
+    def verify_local_report(self, report: LocalReport) -> bool:
+        """Check a local report was endorsed by this machine's LSK — i.e. the
+        attested mEnclave is co-located with the correct identity."""
+        self._require_boot()
+        expect = _hmac.new(
+            self._lsk,
+            report.enclave_eid.to_bytes(4, "big")
+            + report.measurement
+            + report.partition.encode(),
+            hashlib.sha256,
+        ).digest()
+        return _hmac.compare_digest(expect, report.tag)
+
+    def _require_boot(self) -> None:
+        if not self.booted:
+            raise AttestationError("secure monitor not booted")
+
+
+def verify_attestation_report(
+    report: AttestationReport,
+    attestation_anchor: PublicKey,
+    vendor_anchors: Dict[str, PublicKey],
+    device_certs: Dict[str, Certificate],
+) -> None:
+    """Client-side verification (paper section IV-A):
+
+    1. AtK is endorsed by the attestation service,
+    2. the report is signed by AtK,
+    3. every accelerator key is endorsed by its vendor and matches the
+       fingerprint in the report.
+
+    Raises :class:`AttestationError` on any mismatch.
+    """
+    cert = report.atk_certificate
+    if cert is None or report.signature is None:
+        raise AttestationError("report is unsigned")
+    try:
+        verify_certificate(cert, attestation_anchor)
+    except CertificateError as exc:
+        raise AttestationError(str(exc)) from exc
+    try:
+        cert.subject.verify(report.payload(), report.signature)
+    except SignatureError as exc:
+        raise AttestationError(f"report signature invalid: {exc}") from exc
+    for device_name, fingerprint in report.accelerator_keys.items():
+        dev_cert = device_certs.get(device_name)
+        if dev_cert is None:
+            raise AttestationError(f"no vendor certificate for accelerator {device_name!r}")
+        vendor_anchor = vendor_anchors.get(dev_cert.issuer_name)
+        if vendor_anchor is None:
+            raise AttestationError(f"unknown vendor {dev_cert.issuer_name!r}")
+        try:
+            verify_certificate(dev_cert, vendor_anchor)
+        except CertificateError as exc:
+            raise AttestationError(str(exc)) from exc
+        if dev_cert.subject.fingerprint() != fingerprint:
+            raise AttestationError(
+                f"accelerator {device_name!r} key fingerprint mismatch (fabricated device?)"
+            )

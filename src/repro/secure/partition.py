@@ -1,0 +1,112 @@
+"""S-EL2 partitions.
+
+Each partition runs one mOS on exactly one device (paper section III-A).
+Its view of physical memory is mediated by a stage-2 page table owned by
+the SPM; every load/store an mEnclave performs resolves through this table,
+so stage-2 invalidation during failover genuinely traps later accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.hw.memory import PAGE_SIZE, PhysicalMemory, SECURE_WORLD
+from repro.hw.pagetable import PageFault, PageTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hw.devices import Device
+    from repro.secure.spm import SPM
+
+
+class PartitionState(enum.Enum):
+    """Lifecycle of a partition (r_f flag of section IV-D mapped to states)."""
+
+    READY = "ready"
+    FAILED = "failed"  # r_f = 1: new sharing requests are blocked
+    RESTARTING = "restarting"
+
+
+class PeerFailedSignal(Exception):
+    """Signal delivered to an mEnclave touching memory shared with a failed
+    partition.  sRPC catches it to tear down streams; applications using raw
+    shared memory install their own handlers (section IV-D)."""
+
+    def __init__(self, peer_partition: str, page: int) -> None:
+        super().__init__(f"peer partition {peer_partition!r} failed (page {page:#x})")
+        self.peer_partition = peer_partition
+        self.page = page
+
+
+class Partition:
+    """One isolated S-EL2 partition."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        name: str,
+        device: "Device",
+        memory: PhysicalMemory,
+        spm: "SPM",
+    ) -> None:
+        self.partition_id = partition_id
+        self.name = name
+        self.device = device
+        self.state = PartitionState.READY
+        self.stage2 = PageTable(name=f"stage2:{name}")
+        self._memory = memory
+        self._spm = spm
+        self.restarts = 0
+
+    # -- memory access (the only path mEnclaves have to DRAM) -----------
+    def read(self, ipa: int, length: int) -> bytes:
+        """Read guest-physical memory through the stage-2 table."""
+        return self._access(ipa, length, data=None)
+
+    def write(self, ipa: int, data: bytes) -> None:
+        """Write guest-physical memory through the stage-2 table."""
+        self._access(ipa, len(data), data=data)
+
+    def _access(self, ipa: int, length: int, data: Optional[bytes]):
+        self._require_ready()
+        out = bytearray() if data is None else None
+        offset = 0
+        while offset < length:
+            page, start = divmod(ipa + offset, PAGE_SIZE)
+            chunk = min(PAGE_SIZE - start, length - offset)
+            try:
+                phys_page = self.stage2.translate(page, write=data is not None)
+            except PageFault as fault:
+                if fault.invalidated:
+                    # Proceed-trap step 3: the SPM handles the trap and
+                    # converts it into a signal for the faulting mEnclave.
+                    raise self._spm.handle_shared_memory_trap(self, page) from fault
+                raise
+            phys = phys_page * PAGE_SIZE + start
+            if data is None:
+                out.extend(self._memory.read(phys, chunk, world=SECURE_WORLD))
+            else:
+                self._memory.write(phys, data[offset : offset + chunk], world=SECURE_WORLD)
+            offset += chunk
+        return bytes(out) if data is None else None
+
+    # -- state ------------------------------------------------------------
+    def _require_ready(self) -> None:
+        if self.state is not PartitionState.READY:
+            raise PeerFailedSignal(self.name, page=0)
+
+    def mark_failed(self) -> None:
+        self.state = PartitionState.FAILED
+
+    def mark_restarting(self) -> None:
+        self.state = PartitionState.RESTARTING
+
+    def mark_ready(self) -> None:
+        self.state = PartitionState.READY
+        self.restarts += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(id={self.partition_id}, name={self.name!r}, "
+            f"device={self.device.name!r}, state={self.state.value})"
+        )

@@ -1,0 +1,58 @@
+"""Virtual clock for the simulated platform.
+
+All CRONUS timing results are expressed in simulated microseconds.  The
+clock only moves forward; components call :meth:`SimClock.advance` with the
+cost of the operation they just performed.  Deterministic virtual time makes
+every benchmark reproducible regardless of host speed.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised on an invalid clock manipulation (e.g. moving time backwards)."""
+
+
+class SimClock:
+    """A monotonically increasing virtual clock, in microseconds.
+
+    >>> clock = SimClock()
+    >>> clock.advance(5.0)
+    >>> clock.now
+    5.0
+    """
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ClockError(f"clock cannot start at negative time {start_us}")
+        self._now = float(start_us)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    def advance(self, delta_us: float) -> float:
+        """Move time forward by ``delta_us`` and return the new time."""
+        if delta_us < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta_us}")
+        self._now += delta_us
+        return self._now
+
+    def advance_to(self, when_us: float) -> float:
+        """Move time forward to ``when_us`` if it is in the future.
+
+        Used at synchronization points: the caller waits until an
+        asynchronous timeline catches up.  Waiting for a moment already in
+        the past is a no-op, mirroring a sync call that returns immediately.
+        """
+        if when_us > self._now:
+            self._now = when_us
+        return self._now
+
+    def elapsed_since(self, earlier_us: float) -> float:
+        """Microseconds elapsed since ``earlier_us``."""
+        return self._now - earlier_us
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.3f}us)"

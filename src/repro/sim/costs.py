@@ -1,0 +1,153 @@
+"""Cost model for the simulated CRONUS platform.
+
+The paper reports *relative* results (CRONUS <= 7.1% over native, HIX
+substantially slower, failover in hundreds of milliseconds versus ~2 minute
+reboots).  This module concentrates every timing constant in one dataclass
+so the calibration is explicit, documented and overridable per experiment.
+
+Sources for the default values:
+
+* S-EL2 RPC needs at least four context switches each way (paper section
+  IV-C, citing TwinVisor [72]); a secure partition switch is on the order of
+  ten microseconds on FVP-class hardware.
+* Encrypted RPC baselines (HIX-TrustZone) pay per-byte AES plus a lock-step
+  acknowledgement round trip (paper section II-C).
+* PCIe gen3 x16 moves ~12 GB/s, i.e. roughly 0.08 us per KiB; staging via
+  CPU secure memory doubles the copy, and encrypting adds the cipher cost.
+* A full machine reboot is measured at "around 2 minutes" (section VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All timing constants, in microseconds unless noted."""
+
+    # --- world / partition switching ---------------------------------
+    world_switch_us: float = 4.0
+    """One switch between normal world and secure world (SMC round)."""
+
+    partition_switch_us: float = 10.0
+    """One S-EL2 partition context switch (save/restore + stage-2 swap)."""
+
+    rpc_context_switches: int = 4
+    """Context switches needed to enter a remote mEnclave synchronously
+    (same count to resume), per paper section IV-C."""
+
+    enclave_entry_us: float = 1.5
+    """EL0 enclave entry/exit within a partition."""
+
+    thread_spawn_us: float = 25.0
+    """Creating the normal-world helper thread that drives an sRPC stream."""
+
+    # --- memory and interconnect -------------------------------------
+    dram_copy_us_per_kib: float = 0.012
+    """Plain DRAM-to-DRAM copy."""
+
+    pcie_dma_us_per_kib: float = 0.08
+    """DMA over PCIe between host memory and an accelerator."""
+
+    pcie_p2p_us_per_kib: float = 0.05
+    """Direct accelerator-to-accelerator transfer over PCIe."""
+
+    encryption_us_per_kib: float = 0.35
+    """AES-GCM style encrypt or decrypt of one KiB (per direction)."""
+
+    smem_write_us: float = 0.5
+    """Fixed cost of appending one sRPC record to the trusted ring buffer."""
+
+    smem_us_per_kib: float = 0.012
+    """Per-byte cost of serializing arguments into trusted shared memory."""
+
+    ack_round_trip_us: float = 12.0
+    """Lock-step acknowledgement round trip over untrusted memory."""
+
+    # --- page-table and recovery operations --------------------------
+    stage2_map_us: float = 2.0
+    """Mapping one page into a stage-2 table (including TLB maintenance)."""
+
+    stage2_invalidate_us: float = 1.2
+    """Invalidating one stage-2 entry + TLB shootdown."""
+
+    smmu_update_us: float = 1.5
+    """Updating one SMMU translation entry."""
+
+    device_clear_us_per_mib: float = 900.0
+    """Zeroing one MiB of device memory during failure clearing."""
+
+    mos_reload_us: float = 180_000.0
+    """Loading and initializing a fresh mOS image into a partition."""
+
+    menclave_create_us: float = 400.0
+    """Parsing a manifest, allocating resources, loading a runtime."""
+
+    attestation_us: float = 150.0
+    """Producing + verifying one local attestation report."""
+
+    dh_exchange_us: float = 60.0
+    """One Diffie-Hellman key exchange during mEnclave creation."""
+
+    machine_reboot_us: float = 120_000_000.0
+    """Full machine reboot ("around 2 minutes", paper section VI-D)."""
+
+    accelerator_reset_us: float = 500_000.0
+    """Cold-rebooting one accelerator — what temporal sharing pays when
+    switching tenants on dedicated-access designs (table I remark 1)."""
+
+    # --- cluster network (the section VII-C distributed extension) -----
+    network_us_per_kib: float = 0.8
+    """Cross-machine link throughput (~10 Gb/s)."""
+
+    network_rtt_us: float = 50.0
+    """One network round trip between two nodes."""
+
+    # --- compute throughput -------------------------------------------
+    cpu_flops_per_us: float = 2_000.0
+    """Simulated A53-class secure-world CPU throughput."""
+
+    gpu_flops_per_us: float = 400_000.0
+    """Aggregate GPU throughput with all SMs (GTX 2080 class, scaled)."""
+
+    gpu_kernel_launch_us: float = 6.0
+    """Fixed per-kernel launch overhead on the device."""
+
+    npu_ops_per_us: float = 40_000.0
+    """NPU (VTA fsim) int8 MAC throughput."""
+
+    npu_instr_us: float = 0.4
+    """Fixed decode/issue cost per NPU instruction."""
+
+    def copy_cost_us(self, nbytes: int, *, per_kib: float) -> float:
+        """Cost of moving ``nbytes`` at ``per_kib`` microseconds per KiB."""
+        return per_kib * (nbytes / 1024.0)
+
+    def sync_rpc_overhead_us(self) -> float:
+        """Full overhead of one synchronous cross-partition RPC (both ways)."""
+        switches = 2 * self.rpc_context_switches * self.partition_switch_us
+        return switches + 2 * self.enclave_entry_us
+
+    def encrypted_rpc_overhead_us(self, nbytes: int) -> float:
+        """HIX-style lock-step RPC: encrypt, copy via untrusted memory,
+        decrypt, then wait for the acknowledgement."""
+        cipher = 2 * self.copy_cost_us(nbytes, per_kib=self.encryption_us_per_kib)
+        copy = self.copy_cost_us(nbytes, per_kib=self.dram_copy_us_per_kib)
+        return self.sync_rpc_overhead_us() + cipher + copy + self.ack_round_trip_us
+
+    def srpc_enqueue_us(self, nbytes: int) -> float:
+        """Producer-side cost of streaming one RPC record: serialize into the
+        trusted ring buffer, no context switch."""
+        return self.smem_write_us + self.copy_cost_us(nbytes, per_kib=self.smem_us_per_kib)
+
+    def with_overrides(self, **overrides: float) -> "CostModel":
+        """Return a copy with some constants replaced (experiment knobs)."""
+        valid = {f.name for f in fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ValueError(f"unknown cost model fields: {sorted(unknown)}")
+        return replace(self, **overrides)
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,86 @@
+"""Asynchronous progress timelines.
+
+A :class:`Timeline` models a worker that executes submitted operations
+sequentially but concurrently with its caller: a GPU stream, the sRPC
+consumer thread of a remote mEnclave, or an NPU command queue.  Work
+submitted at time *t* starts at ``max(t, available_at)`` and finishes
+``duration`` later.  The caller's clock does not move on submission — it
+only moves when it *joins* the timeline (a synchronization point such as
+``cudaMemcpy`` or an sRPC call that needs a return value).
+
+This is the timing backbone of the streaming-RPC performance model from
+paper section IV-C: producers enqueue without context switches while the
+consumer drains on its own timeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.clock import SimClock
+
+
+class Timeline:
+    """Sequential worker running concurrently with the submitting clock."""
+
+    def __init__(self, clock: SimClock, name: str = "timeline") -> None:
+        self._clock = clock
+        self.name = name
+        self._available_at = clock.now
+        self._busy_us = 0.0
+        self._submitted = 0
+        self._completed_log: List[float] = []
+
+    @property
+    def available_at(self) -> float:
+        """Virtual time at which all submitted work will have finished."""
+        return self._available_at
+
+    @property
+    def busy_us(self) -> float:
+        """Total microseconds of work executed on this timeline."""
+        return self._busy_us
+
+    @property
+    def submitted(self) -> int:
+        """Number of operations submitted so far."""
+        return self._submitted
+
+    def submit(self, duration_us: float, *, not_before: Optional[float] = None) -> float:
+        """Enqueue an operation; return its completion time.
+
+        ``not_before`` expresses a dependency on another timeline (e.g. the
+        producer finished serializing the request at that instant).
+        """
+        if duration_us < 0:
+            raise ValueError(f"negative duration {duration_us}")
+        start = max(self._available_at, self._clock.now)
+        if not_before is not None:
+            start = max(start, not_before)
+        self._available_at = start + duration_us
+        self._busy_us += duration_us
+        self._submitted += 1
+        self._completed_log.append(self._available_at)
+        return self._available_at
+
+    def join(self) -> float:
+        """Block the caller until all submitted work completes."""
+        return self._clock.advance_to(self._available_at)
+
+    def idle_gap_us(self) -> float:
+        """How far the caller is ahead of (or behind) this timeline."""
+        return self._available_at - self._clock.now
+
+    def completion_times(self) -> List[float]:
+        """Completion instants of every submitted operation (for metrics)."""
+        return list(self._completed_log)
+
+    def reset(self) -> None:
+        """Forget pending work; used when a stream is torn down on failure."""
+        self._available_at = self._clock.now
+
+    def __repr__(self) -> str:
+        return (
+            f"Timeline({self.name!r}, available_at={self._available_at:.3f}, "
+            f"submitted={self._submitted})"
+        )

@@ -1,0 +1,39 @@
+"""Assembled systems: CRONUS and the paper's three baselines.
+
+All four expose the same heterogeneous runtime interface (CUDA calls, VTA
+calls, CPU compute) over the same simulated platform, so workloads run
+unmodified on each and the benchmarks compare simulated elapsed time:
+
+* :class:`CronusSystem` — full MicroTEE stack: per-device partitions,
+  mOSes, mEnclaves, sRPC (the paper's system).
+* :class:`MonolithicTrustZone` — "TrustZone" baseline: all drivers in one
+  secure OS; fast, spatially shared, but no fault/security isolation.
+* :class:`HixTrustZone` — HIX emulation: app enclave talks to a dedicated
+  GPU enclave through encrypted lock-step RPC over untrusted memory.
+* :class:`NativeLinux` — no TEE at all (the normalization baseline).
+"""
+
+from repro.systems.testbed import TestbedConfig, make_platform
+from repro.systems.base import (
+    BaselineSystem,
+    DirectHal,
+    HixTrustZone,
+    MonolithicTrustZone,
+    NativeLinux,
+    System,
+    SystemError,
+)
+from repro.systems.cronus import CronusSystem
+
+__all__ = [
+    "TestbedConfig",
+    "make_platform",
+    "System",
+    "SystemError",
+    "BaselineSystem",
+    "DirectHal",
+    "NativeLinux",
+    "MonolithicTrustZone",
+    "HixTrustZone",
+    "CronusSystem",
+]

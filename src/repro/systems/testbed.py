@@ -1,0 +1,90 @@
+"""The standard simulated testbed (paper table II).
+
+A four-core AArch64 machine with 8 GiB normal + 4 GiB secure memory, one to
+four passthrough NVIDIA-class GPUs on the secure PCIe bus, and one
+VTA-compatible NPU implemented as a PCIe device running the fsim simulator
+(paper section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.accel.cpu import CpuDevice
+from repro.accel.gpu import GpuDevice
+from repro.accel.npu import NpuDevice
+from repro.hw.devices import MMIORegion
+from repro.hw.platform import Platform, PlatformConfig
+from repro.sim import CostModel, SimClock
+
+_MMIO_STRIDE = 0x0100_0000
+_MMIO_BASE = 0x4000_0000
+_IRQ_BASE = 40
+
+
+@dataclass(frozen=True)
+class TestbedConfig:
+    """Knobs for the standard machine."""
+
+    __test__ = False  # not a pytest test class despite the name
+
+    num_gpus: int = 1
+    with_npu: bool = True
+    gpu_memory_bytes: int = 8 << 30
+    npu_memory_bytes: int = 256 << 20
+    isolation: str = "trustzone"  # or "riscv-pmp" (paper section VII-A)
+
+
+def make_platform(
+    config: Optional[TestbedConfig] = None,
+    *,
+    costs: Optional[CostModel] = None,
+) -> Platform:
+    """Build the table-II machine: CPU + GPUs + NPU on the secure bus."""
+    config = config or TestbedConfig()
+    platform = Platform(
+        PlatformConfig(isolation=config.isolation), clock=SimClock(), costs=costs
+    )
+    arm = platform.register_vendor("arm")
+    nvidia = platform.register_vendor("nvidia")
+    vta = platform.register_vendor("vta")
+
+    slot = 0
+
+    def next_window() -> MMIORegion:
+        nonlocal slot
+        region = MMIORegion(base=_MMIO_BASE + slot * _MMIO_STRIDE, size=_MMIO_STRIDE)
+        slot += 1
+        return region
+
+    cpu = CpuDevice("cpu0", platform.clock, platform.costs, mmio=next_window(),
+                    irq=_IRQ_BASE, vendor=arm, cores=4)
+    platform.attach_device(cpu)
+
+    for i in range(config.num_gpus):
+        gpu = GpuDevice(
+            f"gpu{i}",
+            platform.clock,
+            platform.costs,
+            mmio=next_window(),
+            irq=_IRQ_BASE + 1 + i,
+            vendor=nvidia,
+            memory_bytes=config.gpu_memory_bytes,
+        )
+        platform.attach_device(gpu)
+
+    if config.with_npu:
+        npu = NpuDevice(
+            "npu0",
+            platform.clock,
+            platform.costs,
+            mmio=next_window(),
+            irq=_IRQ_BASE + 1 + config.num_gpus,
+            vendor=vta,
+            memory_bytes=config.npu_memory_bytes,
+        )
+        platform.attach_device(npu)
+
+    platform.build_device_tree()
+    return platform

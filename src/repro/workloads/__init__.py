@@ -1,0 +1,18 @@
+"""Workloads: the programs the paper evaluates CRONUS with.
+
+* :mod:`repro.workloads.kernels` — the CUDA kernel library (the ``.cubin``
+  contents) used by Rodinia and DNN training.
+* :mod:`repro.workloads.rodinia` — analogs of the Rodinia GPU benchmarks
+  (figure 7).
+* :mod:`repro.workloads.datasets` — synthetic MNIST / CIFAR-10 / ImageNet
+  stand-ins (shape-faithful; see DESIGN.md substitutions).
+* :mod:`repro.workloads.dnn` — a mini training framework (tensors, layers,
+  SGD) and the four paper models (LeNet / ResNet / VGG / DenseNet analogs)
+  for figure 8 and figure 11.
+* :mod:`repro.workloads.vta_bench` — the vta-bench microbenchmark
+  (figure 10a).
+* :mod:`repro.workloads.tvm` — a TVM-like compiler lowering layer graphs to
+  NPU instruction streams for inference (figure 10b).
+"""
+
+from repro.workloads import kernels  # noqa: F401  (registers the kernels)

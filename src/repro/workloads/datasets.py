@@ -1,0 +1,66 @@
+"""Synthetic datasets standing in for MNIST / CIFAR-10 / ImageNet.
+
+The paper trains on the real datasets; we cannot ship them offline, and the
+systems claims (RPC overhead, sharing, failover) are insensitive to pixel
+content.  These generators keep the *shape signature* of each dataset
+(channels, spatial layout after our scale-down, class count) and make the
+data weakly learnable (class-dependent means), so training loss genuinely
+decreases and end-to-end correctness is checkable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled image set: images (N,C,H,W) float32, labels (N,) int64."""
+
+    name: str
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def one_hot(self) -> np.ndarray:
+        return np.eye(self.num_classes, dtype=np.float32)[self.labels]
+
+    def batches(self, batch_size: int):
+        """Yield (images, onehot) minibatches, dropping the remainder."""
+        onehot = self.one_hot()
+        for start in range(0, len(self) - batch_size + 1, batch_size):
+            yield (
+                self.images[start : start + batch_size],
+                onehot[start : start + batch_size],
+            )
+
+
+def _make(name: str, n: int, channels: int, size: int, classes: int, seed: int) -> Dataset:
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, classes, n)
+    # Class-dependent mean pattern makes the task learnable.
+    prototypes = rng.standard_normal((classes, channels, size, size)).astype(np.float32)
+    noise = rng.standard_normal((n, channels, size, size)).astype(np.float32)
+    images = prototypes[labels] + 0.5 * noise
+    return Dataset(name=name, images=images, labels=labels.astype(np.int64), num_classes=classes)
+
+
+def synthetic_mnist(n: int = 128, *, seed: int = 11) -> Dataset:
+    """MNIST stand-in: 1-channel images, 10 classes (28x28 -> 8x8)."""
+    return _make("mnist", n, channels=1, size=8, classes=10, seed=seed)
+
+
+def synthetic_cifar10(n: int = 128, *, seed: int = 12) -> Dataset:
+    """CIFAR-10 stand-in: 3-channel images, 10 classes (32x32 -> 8x8)."""
+    return _make("cifar10", n, channels=3, size=8, classes=10, seed=seed)
+
+
+def synthetic_imagenet(n: int = 64, *, seed: int = 13) -> Dataset:
+    """ImageNet stand-in: 3-channel images, 100 classes (224x224 -> 16x16,
+    1000 classes -> 100)."""
+    return _make("imagenet", n, channels=3, size=16, classes=100, seed=seed)

@@ -1,0 +1,681 @@
+"""Rodinia benchmark analogs (figure 7).
+
+Sixteen GPU benchmarks from the Rodinia suite, each implemented as the same
+host-driver pattern the CUDA originals use: copy inputs to the device,
+launch a sequence of kernels, copy results back.  Every benchmark verifies
+its device result against a pure-numpy reference, so a system that corrupts
+RPC ordering or data would fail loudly.
+
+All benchmarks are written against the common runtime interface, so the
+same code runs on native Linux, monolithic TrustZone, HIX-TrustZone and
+CRONUS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+
+class VerificationError(Exception):
+    """Device result diverged from the host reference."""
+
+
+def _check(name: str, got: np.ndarray, want: np.ndarray, *, tol: float = 1e-3) -> None:
+    if not np.allclose(got, want, rtol=tol, atol=tol):
+        worst = float(np.max(np.abs(got - want)))
+        raise VerificationError(f"{name}: device/host mismatch (max abs err {worst:.3g})")
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# Paper-scale timing factors.  We compute functionally on small arrays but
+# time kernels at the Rodinia default problem sizes (e.g. gaussian runs on
+# 2048x2048 in the suite vs 48x48 here); the factor is the flop ratio.
+SIM_SCALES: Dict[str, float] = {
+    "gaussian": 2000.0,
+    "hotspot": 1024.0,
+    "pathfinder": 3200.0,
+    "backprop": 5000.0,
+    "bfs": 4000.0,
+    "kmeans": 2000.0,
+    "nn": 100_000.0,
+    "lud": 2000.0,
+    "srad": 600.0,
+    "gemm": 1200.0,
+    "nw": 3000.0,
+    "streamcluster": 15000.0,
+    "lavamd": 600.0,
+    "myocyte": 200.0,
+    "particlefilter": 8000.0,
+    "heartwall": 250.0,
+}
+
+
+class _ScaledRuntime:
+    """Proxy injecting the bench's timing factor into every kernel launch."""
+
+    def __init__(self, rt, scale: float) -> None:
+        self._rt = rt
+        self._scale = scale
+
+    def cudaLaunchKernel(self, kernel: str, handles, **params):
+        return self._rt.cudaLaunchKernel(kernel, handles, sim_scale=self._scale, **params)
+
+    def __getattr__(self, name):
+        return getattr(self._rt, name)
+
+
+def _scaled(rt, bench: str):
+    return _ScaledRuntime(rt, SIM_SCALES[bench])
+
+
+# ------------------------------------------------------------------ gaussian
+
+
+def gaussian(rt, size: int = 48) -> np.ndarray:
+    """Gaussian elimination: solve Ax = b by forward elimination."""
+    rt = _scaled(rt, 'gaussian')
+    rng = _rng(1)
+    a = rng.uniform(1.0, 2.0, (size, size)).astype(np.float32)
+    a += np.eye(size, dtype=np.float32) * size  # diagonally dominant
+    b = rng.uniform(0.0, 1.0, size).astype(np.float32)
+
+    hm = rt.cudaMalloc((size, size))
+    hv = rt.cudaMalloc((size,))
+    rt.cudaMemcpyH2D(hm, a)
+    rt.cudaMemcpyH2D(hv, b)
+    for row in range(size - 1):
+        rt.cudaLaunchKernel("gaussian_eliminate_row", [hm, hv], row=row)
+    m_out = rt.cudaMemcpyD2H(hm)
+    v_out = rt.cudaMemcpyD2H(hv)
+    rt.cudaFree(hm)
+    rt.cudaFree(hv)
+
+    x = np.linalg.solve(np.triu(m_out.astype(np.float64)), v_out.astype(np.float64))
+    _check("gaussian", (a @ x).astype(np.float32), b, tol=1e-2)
+    return x.astype(np.float32)
+
+
+# ------------------------------------------------------------------- hotspot
+
+
+def hotspot(rt, size: int = 64, steps: int = 20) -> np.ndarray:
+    """HotSpot: iterative thermal simulation stencil."""
+    rt = _scaled(rt, 'hotspot')
+    rng = _rng(2)
+    temp = rng.uniform(320.0, 340.0, (size, size)).astype(np.float32)
+    power = rng.uniform(0.0, 0.5, (size, size)).astype(np.float32)
+    cap = 0.05
+
+    ht = rt.cudaMalloc((size, size))
+    hp = rt.cudaMalloc((size, size))
+    ho = rt.cudaMalloc((size, size))
+    rt.cudaMemcpyH2D(ht, temp)
+    rt.cudaMemcpyH2D(hp, power)
+    for _ in range(steps):
+        rt.cudaLaunchKernel("hotspot_step", [ht, hp, ho], cap=cap)
+        ht, ho = ho, ht
+    result = rt.cudaMemcpyD2H(ht)
+    for h in (ht, hp, ho):
+        rt.cudaFree(h)
+
+    ref = temp.copy()
+    for _ in range(steps):
+        padded = np.pad(ref, 1, mode="edge")
+        neighbors = (
+            padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2] + padded[1:-1, 2:]
+        )
+        ref = ref + cap * (neighbors - 4.0 * ref + power)
+    _check("hotspot", result, ref, tol=1e-2)
+    return result
+
+
+# ---------------------------------------------------------------- pathfinder
+
+
+def pathfinder(rt, cols: int = 256, rows: int = 40) -> np.ndarray:
+    """PathFinder: bottom-up dynamic programming over a grid."""
+    rt = _scaled(rt, 'pathfinder')
+    rng = _rng(3)
+    grid = rng.integers(0, 10, (rows, cols)).astype(np.float32)
+
+    hacc = rt.cudaMalloc((cols,))
+    hrow = rt.cudaMalloc((cols,))
+    hout = rt.cudaMalloc((cols,))
+    rt.cudaMemcpyH2D(hacc, grid[0])
+    for r in range(1, rows):
+        rt.cudaMemcpyH2D(hrow, grid[r])
+        rt.cudaLaunchKernel("pathfinder_step", [hrow, hacc, hout])
+        hacc, hout = hout, hacc
+    result = rt.cudaMemcpyD2H(hacc)
+    for h in (hacc, hrow, hout):
+        rt.cudaFree(h)
+
+    acc = grid[0].copy()
+    for r in range(1, rows):
+        left = np.concatenate(([acc[0]], acc[:-1]))
+        right = np.concatenate((acc[1:], [acc[-1]]))
+        acc = grid[r] + np.minimum(acc, np.minimum(left, right))
+    _check("pathfinder", result, acc)
+    return result
+
+
+# ------------------------------------------------------------------ backprop
+
+
+def backprop(rt, in_dim: int = 64, hidden: int = 32, batch: int = 16) -> float:
+    """Backprop: one forward+backward pass of a 2-layer MLP."""
+    rt = _scaled(rt, 'backprop')
+    rng = _rng(4)
+    x = rng.standard_normal((batch, in_dim)).astype(np.float32)
+    w1 = (rng.standard_normal((in_dim, hidden)) * 0.1).astype(np.float32)
+    w2 = (rng.standard_normal((hidden, 10)) * 0.1).astype(np.float32)
+    onehot = np.eye(10, dtype=np.float32)[rng.integers(0, 10, batch)]
+
+    hx = rt.cudaMalloc((batch, in_dim))
+    hw1 = rt.cudaMalloc((in_dim, hidden))
+    hh = rt.cudaMalloc((batch, hidden))
+    hhr = rt.cudaMalloc((batch, hidden))
+    hw2 = rt.cudaMalloc((hidden, 10))
+    hlogits = rt.cudaMalloc((batch, 10))
+    honehot = rt.cudaMalloc((batch, 10))
+    hloss = rt.cudaMalloc((1,))
+    hgl = rt.cudaMalloc((batch, 10))
+    hgw2 = rt.cudaMalloc((hidden, 10))
+    hgh = rt.cudaMalloc((batch, hidden))
+    hghr = rt.cudaMalloc((batch, hidden))
+    hgw1 = rt.cudaMalloc((in_dim, hidden))
+
+    rt.cudaMemcpyH2D(hx, x)
+    rt.cudaMemcpyH2D(hw1, w1)
+    rt.cudaMemcpyH2D(hw2, w2)
+    rt.cudaMemcpyH2D(honehot, onehot)
+    rt.cudaLaunchKernel("matmul", [hx, hw1, hh])
+    rt.cudaLaunchKernel("relu_fwd", [hh, hhr])
+    rt.cudaLaunchKernel("matmul", [hhr, hw2, hlogits])
+    rt.cudaLaunchKernel("softmax_xent", [hlogits, honehot, hloss, hgl])
+    rt.cudaLaunchKernel("matmul_tn", [hhr, hgl, hgw2])
+    rt.cudaLaunchKernel("matmul_nt", [hgl, hw2, hgh])
+    rt.cudaLaunchKernel("relu_bwd", [hh, hgh, hghr])
+    rt.cudaLaunchKernel("matmul_tn", [hx, hghr, hgw1])
+    loss = float(rt.cudaMemcpyD2H(hloss)[0])
+    gw1 = rt.cudaMemcpyD2H(hgw1)
+    for h in (hx, hw1, hh, hhr, hw2, hlogits, honehot, hloss, hgl, hgw2, hgh, hghr, hgw1):
+        rt.cudaFree(h)
+
+    hidden_pre = x @ w1
+    hidden_act = np.maximum(hidden_pre, 0)
+    logits = hidden_act @ w2
+    exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    gl = (probs - onehot) / batch
+    ref_gw1 = x.T @ ((gl @ w2.T) * (hidden_pre > 0))
+    _check("backprop", gw1, ref_gw1)
+    return loss
+
+
+# ----------------------------------------------------------------------- bfs
+
+
+def bfs(rt, nodes: int = 128, seed: int = 5) -> np.ndarray:
+    """BFS over a random graph using frontier expansion."""
+    rt = _scaled(rt, 'bfs')
+    rng = _rng(seed)
+    adj = (rng.uniform(0, 1, (nodes, nodes)) < (4.0 / nodes)).astype(np.float32)
+    adj = np.maximum(adj, adj.T)
+    np.fill_diagonal(adj, 0)
+
+    hadj = rt.cudaMalloc((nodes, nodes))
+    hfront = rt.cudaMalloc((nodes,))
+    hvisited = rt.cudaMalloc((nodes,))
+    hnext = rt.cudaMalloc((nodes,))
+    frontier = np.zeros(nodes, dtype=np.float32)
+    frontier[0] = 1.0
+    visited = frontier.copy()
+    rt.cudaMemcpyH2D(hadj, adj)
+    rt.cudaMemcpyH2D(hfront, frontier)
+    rt.cudaMemcpyH2D(hvisited, visited)
+    for _ in range(nodes):
+        rt.cudaLaunchKernel("bfs_frontier", [hadj, hfront, hvisited, hnext])
+        nxt = rt.cudaMemcpyD2H(hnext)
+        if not nxt.any():
+            break
+        rt.cudaMemcpyH2D(hfront, nxt)
+    result = rt.cudaMemcpyD2H(hvisited)
+    for h in (hadj, hfront, hvisited, hnext):
+        rt.cudaFree(h)
+
+    # Reference reachability via repeated boolean matmul.
+    reach = frontier.astype(bool)
+    for _ in range(nodes):
+        new = (adj.T @ reach) > 0
+        grown = reach | new
+        if (grown == reach).all():
+            break
+        reach = grown
+    _check("bfs", result > 0, reach)
+    return result
+
+
+# -------------------------------------------------------------------- kmeans
+
+
+def kmeans(rt, points: int = 256, clusters: int = 8, iters: int = 5) -> np.ndarray:
+    """K-means clustering: assignment + center update kernels."""
+    rt = _scaled(rt, 'kmeans')
+    rng = _rng(6)
+    pts = rng.standard_normal((points, 4)).astype(np.float32)
+    centers = pts[:clusters].copy()
+
+    hp = rt.cudaMalloc((points, 4))
+    hc = rt.cudaMalloc((clusters, 4))
+    ha = rt.cudaMalloc((points,))
+    rt.cudaMemcpyH2D(hp, pts)
+    rt.cudaMemcpyH2D(hc, centers)
+    for _ in range(iters):
+        rt.cudaLaunchKernel("kmeans_assign", [hp, hc, ha])
+        rt.cudaLaunchKernel("kmeans_update", [hp, ha, hc])
+    result = rt.cudaMemcpyD2H(hc)
+    for h in (hp, hc, ha):
+        rt.cudaFree(h)
+
+    ref_centers = pts[:clusters].copy()
+    for _ in range(iters):
+        d2 = ((pts[:, None, :] - ref_centers[None, :, :]) ** 2).sum(axis=2)
+        assign = np.argmin(d2, axis=1)
+        for k in range(clusters):
+            members = pts[assign == k]
+            if len(members):
+                ref_centers[k] = members.mean(axis=0)
+    _check("kmeans", result, ref_centers)
+    return result
+
+
+# ------------------------------------------------------------------------ nn
+
+
+def nn(rt, points: int = 2048) -> int:
+    """NN: nearest neighbor to a query point by brute-force distance."""
+    rt = _scaled(rt, 'nn')
+    rng = _rng(7)
+    pts = rng.uniform(0, 100, (points, 2)).astype(np.float32)
+    query = np.array([50.0, 50.0], dtype=np.float32)
+
+    hp = rt.cudaMalloc((points, 2))
+    hq = rt.cudaMalloc((2,))
+    hd = rt.cudaMalloc((points,))
+    rt.cudaMemcpyH2D(hp, pts)
+    rt.cudaMemcpyH2D(hq, query)
+    rt.cudaLaunchKernel("nn_distance", [hp, hq, hd])
+    dist = rt.cudaMemcpyD2H(hd)
+    for h in (hp, hq, hd):
+        rt.cudaFree(h)
+
+    nearest = int(np.argmin(dist))
+    ref = int(np.argmin(np.sqrt(((pts - query) ** 2).sum(axis=1))))
+    if nearest != ref:
+        raise VerificationError(f"nn: device nearest {nearest} != host {ref}")
+    return nearest
+
+
+# ----------------------------------------------------------------------- lud
+
+
+def lud(rt, size: int = 48) -> np.ndarray:
+    """LUD: LU decomposition by repeated elimination steps."""
+    rt = _scaled(rt, 'lud')
+    rng = _rng(8)
+    a = rng.uniform(1.0, 2.0, (size, size)).astype(np.float32)
+    a += np.eye(size, dtype=np.float32) * size
+
+    hm = rt.cudaMalloc((size, size))
+    rt.cudaMemcpyH2D(hm, a)
+    for step in range(size - 1):
+        rt.cudaLaunchKernel("lud_step", [hm], step=step)
+    lu = rt.cudaMemcpyD2H(hm)
+    rt.cudaFree(hm)
+
+    l_ = np.tril(lu.astype(np.float64), -1) + np.eye(size)
+    u = np.triu(lu.astype(np.float64))
+    _check("lud", (l_ @ u).astype(np.float32), a, tol=1e-2)
+    return lu
+
+
+# ---------------------------------------------------------------------- srad
+
+
+def srad(rt, size: int = 64, steps: int = 10) -> np.ndarray:
+    """SRAD: speckle-reducing anisotropic diffusion on an image."""
+    rt = _scaled(rt, 'srad')
+    rng = _rng(9)
+    img = rng.uniform(0.5, 1.5, (size, size)).astype(np.float32)
+
+    hi = rt.cudaMalloc((size, size))
+    ho = rt.cudaMalloc((size, size))
+    rt.cudaMemcpyH2D(hi, img)
+    for _ in range(steps):
+        rt.cudaLaunchKernel("srad_step", [hi, ho], lam=0.05)
+        hi, ho = ho, hi
+    result = rt.cudaMemcpyD2H(hi)
+    for h in (hi, ho):
+        rt.cudaFree(h)
+
+    if not np.isfinite(result).all():
+        raise VerificationError("srad: non-finite output")
+    # Diffusion must reduce total variation.
+    def tv(a):
+        return float(np.abs(np.diff(a, axis=0)).sum() + np.abs(np.diff(a, axis=1)).sum())
+
+    if tv(result) > tv(img):
+        raise VerificationError("srad: diffusion increased total variation")
+    return result
+
+
+# ----------------------------------------------------------------------- nw
+
+
+def nw(rt, n: int = 96, penalty: int = 10) -> np.ndarray:
+    """Needleman-Wunsch: global sequence alignment by anti-diagonal DP."""
+    rt = _scaled(rt, 'nw')
+    rng = _rng(11)
+    # Random substitution scores for each (i, j) pair of residues.
+    sub = rng.integers(-4, 5, (n, n)).astype(np.float32)
+    score = np.zeros((n + 1, n + 1), dtype=np.float32)
+    score[0, :] = -penalty * np.arange(n + 1)
+    score[:, 0] = -penalty * np.arange(n + 1)
+
+    hs = rt.cudaMalloc((n + 1, n + 1))
+    hm = rt.cudaMalloc((n, n))
+    rt.cudaMemcpyH2D(hs, score)
+    rt.cudaMemcpyH2D(hm, sub)
+    for diag in range(1, 2 * n):
+        rt.cudaLaunchKernel("nw_diagonal", [hs, hm], diag=diag, penalty=penalty)
+    result = rt.cudaMemcpyD2H(hs)
+    rt.cudaFree(hs)
+    rt.cudaFree(hm)
+
+    ref = score.copy()
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            ref[i, j] = max(
+                ref[i - 1, j - 1] + sub[i - 1, j - 1],
+                ref[i - 1, j] - penalty,
+                ref[i, j - 1] - penalty,
+            )
+    _check("nw", result, ref)
+    return result
+
+
+# ------------------------------------------------------------- streamcluster
+
+
+def streamcluster(rt, points: int = 256, candidates: int = 12) -> np.ndarray:
+    """streamcluster: greedy facility opening driven by assignment cost."""
+    rt = _scaled(rt, 'streamcluster')
+    rng = _rng(12)
+    pts = rng.standard_normal((points, 3)).astype(np.float32)
+    candidate_centers = rng.standard_normal((candidates, 3)).astype(np.float32)
+
+    hp = rt.cudaMalloc((points, 3))
+    hcost = rt.cudaMalloc((points,))
+    rt.cudaMemcpyH2D(hp, pts)
+
+    opened = [candidate_centers[0]]
+    total_costs = []
+    for k in range(1, candidates):
+        hc = rt.cudaMalloc((len(opened), 3))
+        rt.cudaMemcpyH2D(hc, np.stack(opened))
+        rt.cudaLaunchKernel("sc_min_cost", [hp, hc, hcost])
+        cost_now = float(rt.cudaMemcpyD2H(hcost).sum())
+        rt.cudaFree(hc)
+        total_costs.append(cost_now)
+        # Open the next facility if the current solution is still "bad".
+        opened.append(candidate_centers[k])
+    rt.cudaFree(hp)
+    rt.cudaFree(hcost)
+
+    # Reference: costs must be non-increasing as facilities open.
+    for earlier, later in zip(total_costs, total_costs[1:]):
+        if later > earlier + 1e-3:
+            raise VerificationError("streamcluster: cost increased as centers opened")
+    # And the first cost must match numpy exactly.
+    d2 = ((pts[:, None, :] - np.stack(opened[:1])[None, :, :]) ** 2).sum(axis=2)
+    _check("streamcluster", np.float32(total_costs[0]), np.float32(d2.min(axis=1).sum()),
+           tol=1e-2)
+    return np.array(total_costs, dtype=np.float32)
+
+
+# ------------------------------------------------------------------- lavamd
+
+
+def lavamd(rt, particles: int = 128, steps: int = 4) -> np.ndarray:
+    """lavaMD: particle forces within a box under a distance cutoff."""
+    rt = _scaled(rt, 'lavamd')
+    rng = _rng(13)
+    pos = rng.uniform(0.0, 4.0, (particles, 3)).astype(np.float32)
+    charge = rng.uniform(0.5, 1.5, particles).astype(np.float32)
+
+    hpos = rt.cudaMalloc((particles, 3))
+    hq = rt.cudaMalloc((particles,))
+    hf = rt.cudaMalloc((particles, 3))
+    rt.cudaMemcpyH2D(hpos, pos)
+    rt.cudaMemcpyH2D(hq, charge)
+    for _ in range(steps):
+        rt.cudaLaunchKernel("lavamd_force", [hpos, hq, hf], cutoff2=4.0)
+    force = rt.cudaMemcpyD2H(hf)
+    for h in (hpos, hq, hf):
+        rt.cudaFree(h)
+
+    delta = pos[:, None, :] - pos[None, :, :]
+    dist2 = (delta**2).sum(axis=2)
+    np.fill_diagonal(dist2, np.inf)
+    strength = np.where(dist2 < 4.0, charge[None, :] / (dist2 + 1e-6), 0.0)
+    ref = (strength[:, :, None] * delta).sum(axis=1)
+    _check("lavamd", force, ref, tol=1e-2)
+    return force
+
+
+# ------------------------------------------------------------------- myocyte
+
+
+def myocyte(rt, cells: int = 512, steps: int = 50) -> np.ndarray:
+    """myocyte: cardiac cell ODEs integrated with RK4 over many cells."""
+    rt = _scaled(rt, 'myocyte')
+    rng = _rng(14)
+    state = np.stack(
+        [rng.uniform(-1.5, 1.5, cells), rng.uniform(-0.5, 0.5, cells)], axis=1
+    ).astype(np.float32)
+
+    hs = rt.cudaMalloc((cells, 2))
+    ho = rt.cudaMalloc((cells, 2))
+    rt.cudaMemcpyH2D(hs, state)
+    for _ in range(steps):
+        rt.cudaLaunchKernel("myocyte_rk4", [hs, ho], dt=0.05)
+        hs, ho = ho, hs
+    result = rt.cudaMemcpyD2H(hs)
+    for h in (hs, ho):
+        rt.cudaFree(h)
+
+    def deriv(s):
+        v, w = s[:, 0], s[:, 1]
+        dv = v - (v**3) / 3.0 - w + 0.5
+        dw = 0.08 * (v + 0.7 - 0.8 * w)
+        return np.stack([dv, dw], axis=1)
+
+    ref = state.copy()
+    dt = 0.05
+    for _ in range(steps):
+        k1 = deriv(ref)
+        k2 = deriv(ref + 0.5 * dt * k1)
+        k3 = deriv(ref + 0.5 * dt * k2)
+        k4 = deriv(ref + dt * k3)
+        ref = ref + (dt / 6.0) * (k1 + 2 * k2 + 2 * k3 + k4)
+    _check("myocyte", result, ref.astype(np.float32), tol=1e-2)
+    return result
+
+
+# ------------------------------------------------------------ particlefilter
+
+
+def particlefilter(rt, particles: int = 256, steps: int = 12) -> np.ndarray:
+    """particlefilter: track a moving object with a bootstrap filter."""
+    rt = _scaled(rt, 'particlefilter')
+    rng = _rng(15)
+    true_path = np.cumsum(rng.uniform(-1.0, 1.5, (steps, 2)), axis=0).astype(np.float32)
+    cloud = (true_path[0] + rng.standard_normal((particles, 2))).astype(np.float32)
+
+    hp = rt.cudaMalloc((particles, 2))
+    hn = rt.cudaMalloc((particles, 2))
+    ht = rt.cudaMalloc((2,))
+    hw = rt.cudaMalloc((particles,))
+    hi = rt.cudaMalloc((particles,))
+    ho = rt.cudaMalloc((particles, 2))
+    rt.cudaMemcpyH2D(hp, cloud)
+    estimates = []
+    for step in range(steps):
+        noise = (rng.standard_normal((particles, 2)) * 0.4).astype(np.float32)
+        if step > 0:
+            noise += true_path[step] - true_path[step - 1]
+        rt.cudaMemcpyH2D(hn, noise)
+        rt.cudaLaunchKernel("pf_propagate", [hp, hn])
+        observation = true_path[step] + rng.standard_normal(2).astype(np.float32) * 0.2
+        rt.cudaMemcpyH2D(ht, observation.astype(np.float32))
+        rt.cudaLaunchKernel("pf_likelihood", [hp, ht, hw], sigma=1.0)
+        weights = rt.cudaMemcpyD2H(hw)
+        state = rt.cudaMemcpyD2H(hp)
+        estimates.append((weights[:, None] * state).sum(axis=0))
+        # Systematic resampling (host side, as the CUDA original does).
+        positions = (np.arange(particles) + 0.5) / particles
+        indices = np.searchsorted(np.cumsum(weights), positions).clip(0, particles - 1)
+        rt.cudaMemcpyH2D(hi, indices.astype(np.float32))
+        rt.cudaLaunchKernel("pf_gather", [hp, hi, ho])
+        hp, ho = ho, hp
+    for h in (hp, hn, ht, hw, hi, ho):
+        rt.cudaFree(h)
+
+    estimates = np.stack(estimates)
+    errors = np.linalg.norm(estimates - true_path, axis=1)
+    if errors[steps // 2 :].mean() > 1.5:
+        raise VerificationError(
+            f"particlefilter: track diverged (mean err {errors.mean():.2f})"
+        )
+    return estimates
+
+
+# ----------------------------------------------------------------- heartwall
+
+
+def heartwall(rt, frame_size: int = 40, template_size: int = 8, frames: int = 6) -> np.ndarray:
+    """heartwall: track a wall feature across frames by template matching."""
+    rt = _scaled(rt, 'heartwall')
+    rng = _rng(16)
+    template = rng.uniform(0.0, 1.0, (template_size, template_size)).astype(np.float32)
+    true_positions = []
+    tracked = []
+
+    resp_size = frame_size - template_size + 1
+    hf = rt.cudaMalloc((frame_size, frame_size))
+    ht = rt.cudaMalloc((template_size, template_size))
+    hr = rt.cudaMalloc((resp_size, resp_size))
+    rt.cudaMemcpyH2D(ht, template)
+    position = np.array([5, 7])
+    for frame_index in range(frames):
+        # The wall feature drifts deterministically frame to frame.
+        position = position + np.array([2, 1]) * (frame_index % 2)
+        frame = rng.uniform(0.0, 0.2, (frame_size, frame_size)).astype(np.float32)
+        frame[
+            position[0] : position[0] + template_size,
+            position[1] : position[1] + template_size,
+        ] = template
+        true_positions.append(position.copy())
+        rt.cudaMemcpyH2D(hf, frame)
+        rt.cudaLaunchKernel("hw_ssd", [hf, ht, hr])
+        response = rt.cudaMemcpyD2H(hr)
+        tracked.append(np.unravel_index(np.argmin(response), response.shape))
+    for h in (hf, ht, hr):
+        rt.cudaFree(h)
+
+    tracked = np.array(tracked)
+    expect = np.array(true_positions)
+    if not np.array_equal(tracked, expect):
+        raise VerificationError("heartwall: tracker lost the wall feature")
+    return tracked
+
+
+# -------------------------------------------------------------------- matmul
+
+
+def matmul_bench(rt, size: int = 96) -> np.ndarray:
+    """Dense matrix multiply (the gemm microbenchmark)."""
+    rt = _scaled(rt, 'gemm')
+    rng = _rng(10)
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    b = rng.standard_normal((size, size)).astype(np.float32)
+
+    ha = rt.cudaMalloc((size, size))
+    hb = rt.cudaMalloc((size, size))
+    hc = rt.cudaMalloc((size, size))
+    rt.cudaMemcpyH2D(ha, a)
+    rt.cudaMemcpyH2D(hb, b)
+    rt.cudaLaunchKernel("matmul", [ha, hb, hc])
+    c = rt.cudaMemcpyD2H(hc)
+    for h in (ha, hb, hc):
+        rt.cudaFree(h)
+
+    _check("matmul", c, a @ b, tol=1e-2)
+    return c
+
+
+@dataclass(frozen=True)
+class RodiniaBench:
+    """One Rodinia entry: the driver function and the kernels its cubin names."""
+
+    name: str
+    run: Callable
+    kernels: Tuple[str, ...]
+
+
+RODINIA: Dict[str, RodiniaBench] = {
+    bench.name: bench
+    for bench in [
+        RodiniaBench("gaussian", gaussian, ("gaussian_eliminate_row",)),
+        RodiniaBench("hotspot", hotspot, ("hotspot_step",)),
+        RodiniaBench("pathfinder", pathfinder, ("pathfinder_step",)),
+        RodiniaBench(
+            "backprop",
+            backprop,
+            ("matmul", "matmul_tn", "matmul_nt", "relu_fwd", "relu_bwd", "softmax_xent"),
+        ),
+        RodiniaBench("bfs", bfs, ("bfs_frontier",)),
+        RodiniaBench("kmeans", kmeans, ("kmeans_assign", "kmeans_update")),
+        RodiniaBench("nn", nn, ("nn_distance",)),
+        RodiniaBench("lud", lud, ("lud_step",)),
+        RodiniaBench("srad", srad, ("srad_step",)),
+        RodiniaBench("gemm", matmul_bench, ("matmul",)),
+        RodiniaBench("nw", nw, ("nw_diagonal",)),
+        RodiniaBench("streamcluster", streamcluster, ("sc_min_cost",)),
+        RodiniaBench("lavamd", lavamd, ("lavamd_force",)),
+        RodiniaBench("myocyte", myocyte, ("myocyte_rk4",)),
+        RodiniaBench(
+            "particlefilter",
+            particlefilter,
+            ("pf_propagate", "pf_likelihood", "pf_gather"),
+        ),
+        RodiniaBench("heartwall", heartwall, ("hw_ssd",)),
+    ]
+}
+
+
+def all_kernels() -> Tuple[str, ...]:
+    """Every kernel any Rodinia bench needs (for one shared cubin)."""
+    names = []
+    for bench in RODINIA.values():
+        for kernel in bench.kernels:
+            if kernel not in names:
+                names.append(kernel)
+    return tuple(names)

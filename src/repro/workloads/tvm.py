@@ -1,0 +1,273 @@
+"""TVM-lite: compiling DNN graphs to NPU instruction streams (figure 10b).
+
+TVM compiles a quantized model into VTA programs, one per fused layer, and
+a host-side execution plan.  We reproduce that pipeline: a
+:class:`GraphDef` lists dense layers (convolutions are lowered to GEMM of
+equivalent flops, as TVM's im2col lowering does — see DESIGN.md); the
+compiler emits one :class:`~repro.accel.npu.NpuProgram` per layer plus the
+deploy-time weight tensors; the compiled module then runs inference on any
+system runtime, or on the CPU for the CPU bars of figure 10b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.accel.npu import (
+    NpuProgram,
+    OP_MAX,
+    OP_MIN,
+    OP_SHR,
+    alu,
+    finish,
+    gemm,
+    load,
+    store,
+)
+
+
+@dataclass(frozen=True)
+class DenseSpec:
+    """One fused layer: dense (+ requantize shift, + optional ReLU)."""
+
+    out_features: int
+    shift: int = 5
+    relu: bool = True
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """A quantized convolution, lowered to GEMM via im2col — exactly how
+    TVM maps conv2d onto VTA's GEMM core.  Valid padding, square kernel."""
+
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    shift: int = 5
+    relu: bool = True
+
+
+@dataclass(frozen=True)
+class GraphDef:
+    """A quantized inference graph.
+
+    Pure-dense graphs declare ``input_features``; graphs starting with
+    convolutions declare ``input_shape`` (C, H, W) instead, and a dense
+    layer after convolutions implies a flatten.
+    """
+
+    name: str
+    input_features: int
+    layers: Tuple[object, ...]  # DenseSpec | ConvSpec
+    sim_scale: float = 1.0
+    input_shape: Tuple[int, ...] = ()
+    """Times the analog at the real model's MAC count."""
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int):
+    """(N, C, H, W) -> the GEMM input matrix (N*Ho*Wo, C*k*k)."""
+    n, c, h, w = x.shape
+    ho = (h - kernel) // stride + 1
+    wo = (w - kernel) // stride + 1
+    cols = np.empty((n, ho, wo, c * kernel * kernel), dtype=x.dtype)
+    for i in range(ho):
+        for j in range(wo):
+            patch = x[:, :, i * stride : i * stride + kernel, j * stride : j * stride + kernel]
+            cols[:, i, j, :] = patch.reshape(n, -1)
+    return cols.reshape(n * ho * wo, c * kernel * kernel), ho, wo
+
+
+@dataclass
+class CompiledModule:
+    """The compiler's output: programs + weights + an execution plan."""
+
+    graph: GraphDef
+    programs: Dict[str, NpuProgram]
+    weights: Dict[str, np.ndarray]
+    plan: List[Tuple[str, str, str]]  # (program, input tensor, output tensor)
+    deployed: bool = False
+
+    def deploy(self, rt) -> None:
+        """Copy weights and allocate activation tensors on the NPU."""
+        for tensor_name, weight in self.weights.items():
+            rt.vtaWriteTensor(tensor_name, weight)
+        self.deployed = True
+
+    def run(self, rt, x: np.ndarray) -> np.ndarray:
+        """Inference of one int8 batch through the NPU."""
+        if not self.deployed:
+            self.deploy(rt)
+        if any(isinstance(spec, ConvSpec) for spec in self.graph.layers):
+            return self._run_with_conv(rt, x)
+        batch = x.shape[0]
+        rt.vtaWriteTensor(self.plan[0][1], x.astype(np.int8))
+        for (program, _inp, out), spec in zip(self.plan, self.graph.layers):
+            rt.vtaWriteTensor(out, np.zeros((batch, spec.out_features), np.int8))
+            rt.vtaRun(program)
+        return rt.vtaReadTensor(self.plan[-1][2])
+
+    def _run_with_conv(self, rt, x: np.ndarray) -> np.ndarray:
+        """Conv graphs: each conv's input is im2col'd host-side (a layout
+        transform TVM schedules on the CPU), then GEMM'd on the NPU."""
+        act = x.astype(np.int8)
+        for (program, inp, out), spec in zip(self.plan, self.graph.layers):
+            if isinstance(spec, ConvSpec):
+                matrix, ho, wo = _im2col(act, spec.kernel, spec.stride)
+                rt.cpu_compute(2.0 * matrix.size)  # the layout transform
+                rt.vtaWriteTensor(inp, matrix)
+                rt.vtaWriteTensor(
+                    out, np.zeros((matrix.shape[0], spec.out_channels), np.int8)
+                )
+                rt.vtaRun(program)
+                flat = rt.vtaReadTensor(out)
+                n = act.shape[0]
+                act = flat.reshape(n, ho, wo, spec.out_channels).transpose(0, 3, 1, 2)
+            else:
+                if act.ndim == 4:  # implicit flatten before the dense head
+                    act = act.reshape(act.shape[0], -1)
+                rt.vtaWriteTensor(inp, act)
+                rt.vtaWriteTensor(
+                    out, np.zeros((act.shape[0], spec.out_features), np.int8)
+                )
+                rt.vtaRun(program)
+                act = rt.vtaReadTensor(out)
+        return act
+
+    def run_on_cpu(self, rt, x: np.ndarray) -> np.ndarray:
+        """The same graph on the CPU (figure 10b's CPU bars): functionally
+        identical, timed at CPU throughput."""
+        out, macs = _forward(self, x)
+        rt.cpu_compute(2.0 * macs * self.graph.sim_scale)
+        return out
+
+
+def _forward(module: CompiledModule, x: np.ndarray):
+    """Pure-numpy execution of the compiled graph; returns (out, MACs)."""
+    act = x.astype(np.int32)
+    macs = 0
+    for spec, (_, inp, out) in zip(module.graph.layers, module.plan):
+        w = module.weights[f"{out}_w"].astype(np.int32)
+        if isinstance(spec, ConvSpec):
+            matrix, ho, wo = _im2col(act.astype(np.int8), spec.kernel, spec.stride)
+            macs += matrix.shape[0] * w.shape[0] * w.shape[1]
+            result = matrix.astype(np.int32) @ w.T
+            result = np.clip(result >> spec.shift, -128, 127)
+            if spec.relu:
+                result = np.maximum(result, 0)
+            n = act.shape[0]
+            act = result.reshape(n, ho, wo, spec.out_channels).transpose(0, 3, 1, 2)
+            continue
+        if act.ndim == 4:
+            act = act.reshape(act.shape[0], -1)
+        macs += act.shape[0] * w.shape[0] * w.shape[1]
+        act = act @ w.T
+        act = np.clip(act >> spec.shift, -128, 127)
+        if spec.relu:
+            act = np.maximum(act, 0)
+    return act.astype(np.int8), macs
+
+
+def reference(module: CompiledModule, x: np.ndarray) -> np.ndarray:
+    """Pure-numpy reference of the compiled graph (for verification)."""
+    return _forward(module, x)[0]
+
+
+def compile_graph(graph: GraphDef, *, seed: int = 30) -> CompiledModule:
+    """Lower every layer to a VTA program (load/gemm/shift/clip/store).
+
+    Convolutions become GEMMs over im2col matrices — the conv weight
+    ``(out_c, in_c, k, k)`` is flattened to ``(out_c, in_c*k*k)`` at
+    compile time, matching the lowering the run path performs on data.
+    """
+    rng = np.random.default_rng(seed)
+    programs: Dict[str, NpuProgram] = {}
+    weights: Dict[str, np.ndarray] = {}
+    plan: List[Tuple[str, str, str]] = []
+    spatial = tuple(graph.input_shape)  # (C, H, W) or ()
+    in_features = graph.input_features
+    act_in = f"{graph.name}_act0"
+    for i, spec in enumerate(graph.layers):
+        act_out = f"{graph.name}_act{i + 1}"
+        w_name = f"{act_out}_w"
+        if isinstance(spec, ConvSpec):
+            if not spatial:
+                raise ValueError(f"conv layer {i} needs a spatial input shape")
+            c, h, w = spatial
+            in_features = c * spec.kernel * spec.kernel
+            ho = (h - spec.kernel) // spec.stride + 1
+            wo = (w - spec.kernel) // spec.stride + 1
+            weights[w_name] = rng.integers(
+                -4, 5, (spec.out_channels, in_features)
+            ).astype(np.int8)
+            spatial = (spec.out_channels, ho, wo)
+        else:
+            if spatial:  # implicit flatten before the dense head
+                in_features = int(np.prod(spatial))
+                spatial = ()
+            weights[w_name] = rng.integers(
+                -4, 5, (spec.out_features, in_features)
+            ).astype(np.int8)
+            in_features = spec.out_features
+        program = (
+            NpuProgram(name=f"{graph.name}_l{i}", sim_scale=graph.sim_scale)
+            .append(load("inp", act_in))
+            .append(load("wgt", w_name))
+            .append(gemm())
+            .append(alu(OP_SHR, imm=spec.shift))
+        )
+        if spec.relu:
+            program.append(alu(OP_MAX, imm=0))
+        program.append(alu(OP_MIN, imm=127)).append(store(act_out)).append(finish())
+        programs[program.name] = program
+        plan.append((program.name, act_in, act_out))
+        act_in = act_out
+    return CompiledModule(graph=graph, programs=programs, weights=weights, plan=plan)
+
+
+# ------------------------------------------------------- the paper's models
+
+# Analog widths are small; sim_scale carries each model to its real MAC
+# count (ResNet18 ~1.8 GFLOP, ResNet50 ~4.1 GFLOP, YoloV3 ~65 GFLOP per
+# image at the paper's input sizes).
+
+
+def resnet18_graph() -> GraphDef:
+    layers = tuple([DenseSpec(32)] * 4 + [DenseSpec(16), DenseSpec(10, relu=False)])
+    return GraphDef(name="resnet18", input_features=32, layers=layers, sim_scale=3_000.0)
+
+
+def resnet50_graph() -> GraphDef:
+    layers = tuple([DenseSpec(32)] * 10 + [DenseSpec(16), DenseSpec(10, relu=False)])
+    return GraphDef(name="resnet50", input_features=32, layers=layers, sim_scale=4_000.0)
+
+
+def yolov3_graph() -> GraphDef:
+    layers = tuple([DenseSpec(48)] * 8 + [DenseSpec(24), DenseSpec(12, relu=False)])
+    return GraphDef(name="yolov3", input_features=48, layers=layers, sim_scale=30_000.0)
+
+
+def conv_lenet_graph() -> GraphDef:
+    """A quantized conv net (the TVM-on-VTA tutorial shape): two
+    convolutions lowered to im2col GEMMs plus a dense classifier."""
+    layers = (
+        ConvSpec(4, kernel=3),
+        ConvSpec(8, kernel=3),
+        DenseSpec(10, relu=False),
+    )
+    return GraphDef(
+        name="convlenet",
+        input_features=0,
+        layers=layers,
+        sim_scale=500.0,
+        input_shape=(1, 8, 8),
+    )
+
+
+INFERENCE_GRAPHS = {
+    "resnet18": resnet18_graph,
+    "resnet50": resnet50_graph,
+    "yolov3": yolov3_graph,
+}

@@ -1,0 +1,110 @@
+"""vta-bench: the NPU microbenchmark suite (figure 10a).
+
+Mirrors TVM's VTA benchmark: a GEMM benchmark (int8 matrix multiply with
+requantization) and an ALU benchmark (elementwise accumulator ops), both
+expressed as VTA instruction programs and verified against numpy int8
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.accel.npu import (
+    NpuProgram,
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_SHR,
+    alu,
+    finish,
+    gemm,
+    load,
+    store,
+)
+
+
+def make_gemm_program(name: str = "gemm", *, shift: int = 4, sim_scale: float = 1.0) -> NpuProgram:
+    """acc = inp @ wgt.T  >> shift, clipped to int8, stored to 'out'."""
+    return (
+        NpuProgram(name=name, sim_scale=sim_scale)
+        .append(load("inp", "inp"))
+        .append(load("wgt", "wgt"))
+        .append(gemm())
+        .append(alu(OP_SHR, imm=shift))
+        .append(alu(OP_MAX, imm=-128))
+        .append(alu(OP_MIN, imm=127))
+        .append(store("out"))
+        .append(finish())
+    )
+
+
+def make_alu_program(name: str = "alu", *, sim_scale: float = 1.0) -> NpuProgram:
+    """Accumulator stress: load, a chain of ALU ops, store."""
+    return (
+        NpuProgram(name=name, sim_scale=sim_scale)
+        .append(load("acc", "acc_in"))
+        .append(alu(OP_ADD, imm=3))
+        .append(alu(OP_MAX, imm=0))
+        .append(alu(OP_SHR, imm=1))
+        .append(alu(OP_ADD, imm=-1))
+        .append(alu(OP_MIN, imm=100))
+        .append(store("alu_out"))
+        .append(finish())
+    )
+
+
+def gemm_reference(inp: np.ndarray, wgt: np.ndarray, shift: int = 4) -> np.ndarray:
+    """numpy reference of :func:`make_gemm_program`."""
+    acc = inp.astype(np.int32) @ wgt.astype(np.int32).T
+    return np.clip(acc >> shift, -128, 127).astype(np.int8)
+
+
+def alu_reference(acc_in: np.ndarray) -> np.ndarray:
+    """numpy reference of :func:`make_alu_program`."""
+    acc = acc_in.astype(np.int32)
+    acc = np.maximum(acc + 3, 0) >> 1
+    return np.minimum(acc - 1, 100).astype(np.int32)
+
+
+BENCH_PROGRAMS: Dict[str, NpuProgram] = {
+    "gemm": make_gemm_program(sim_scale=64.0),  # timed at VTA's 256x256 tiles
+    "alu": make_alu_program(sim_scale=64.0),
+}
+
+
+def run_gemm(rt, size: int = 32, iters: int = 10, *, seed: int = 20) -> Tuple[np.ndarray, int]:
+    """Run the GEMM benchmark ``iters`` times; returns (result, total MACs).
+
+    ``rt`` is any system runtime (uses the VTA mECall surface); programs
+    must be loaded under the names in :data:`BENCH_PROGRAMS`.
+    """
+    rng = np.random.default_rng(seed)
+    inp = rng.integers(-8, 8, (size, size)).astype(np.int8)
+    wgt = rng.integers(-8, 8, (size, size)).astype(np.int8)
+    rt.vtaWriteTensor("inp", inp)
+    rt.vtaWriteTensor("wgt", wgt)
+    rt.vtaWriteTensor("out", np.zeros((size, size), np.int8))
+    for _ in range(iters):
+        rt.vtaRun("gemm")
+    out = rt.vtaReadTensor("out")
+    expect = gemm_reference(inp, wgt)
+    if not np.array_equal(out, expect):
+        raise AssertionError("vta-bench gemm: device/host mismatch")
+    return out, iters * size * size * size
+
+
+def run_alu(rt, size: int = 64, iters: int = 10, *, seed: int = 21) -> np.ndarray:
+    """Run the ALU benchmark ``iters`` times; returns the final tensor."""
+    rng = np.random.default_rng(seed)
+    acc_in = rng.integers(-50, 50, (size, size)).astype(np.int32)
+    rt.vtaWriteTensor("acc_in", acc_in)
+    for _ in range(iters):
+        rt.vtaRun("alu")
+    out = rt.vtaReadTensor("alu_out")
+    expect = alu_reference(acc_in)
+    if not np.array_equal(out, expect):
+        raise AssertionError("vta-bench alu: device/host mismatch")
+    return out

@@ -1,0 +1,230 @@
+"""GPU simulator: contexts, memory isolation, streams, spatial sharing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel.gpu import GpuDevice, GpuError, utilization
+from repro.hw.devices import MMIORegion
+from repro.sim import CostModel, SimClock
+
+
+@pytest.fixture
+def gpu():
+    clock = SimClock()
+    return GpuDevice(
+        "gpu0", clock, CostModel(), mmio=MMIORegion(0x1000, 0x100), irq=4,
+        memory_bytes=1 << 20,
+    )
+
+
+class TestGpuMemory:
+    def test_alloc_write_read(self, gpu):
+        ctx = gpu.create_context("t")
+        handle = ctx.alloc((4, 4))
+        ctx.memcpy_h2d(handle, np.full((4, 4), 3.0, np.float32))
+        assert np.all(ctx.memcpy_d2h(handle) == 3.0)
+
+    def test_alloc_zero_initialized(self, gpu):
+        ctx = gpu.create_context("t")
+        assert np.all(ctx.memcpy_d2h(ctx.alloc((8,))) == 0.0)
+
+    def test_oom(self, gpu):
+        ctx = gpu.create_context("t")
+        with pytest.raises(GpuError, match="out of memory"):
+            ctx.alloc((1 << 20,))  # 4 MiB > 1 MiB device
+
+    def test_free_returns_memory(self, gpu):
+        ctx = gpu.create_context("t")
+        handle = ctx.alloc((1024,))
+        assert gpu.bytes_in_use == 4096
+        ctx.free(handle)
+        assert gpu.bytes_in_use == 0
+
+    def test_cross_context_isolation(self, gpu):
+        """GPU virtual-address isolation: a tenant cannot name another
+        tenant's buffers (the paper's mEnclave isolation mechanism)."""
+        ctx_a = gpu.create_context("a")
+        ctx_b = gpu.create_context("b")
+        handle = ctx_a.alloc((4,))
+        with pytest.raises(GpuError, match="cross-context"):
+            ctx_b.buffer(handle)
+
+    def test_shape_mismatch_rejected(self, gpu):
+        ctx = gpu.create_context("t")
+        handle = ctx.alloc((4, 4))
+        with pytest.raises(GpuError, match="shape"):
+            ctx.memcpy_h2d(handle, np.zeros((2, 2), np.float32))
+
+    def test_destroyed_context_rejects_use(self, gpu):
+        ctx = gpu.create_context("t")
+        ctx.destroy()
+        with pytest.raises(GpuError):
+            ctx.alloc((4,))
+
+    def test_h2d_casts_dtype(self, gpu):
+        ctx = gpu.create_context("t")
+        handle = ctx.alloc((4,))
+        ctx.memcpy_h2d(handle, np.arange(4))  # int64 host array
+        assert ctx.memcpy_d2h(handle).dtype == np.float32
+
+
+class TestGpuExecution:
+    def test_kernel_computes(self, gpu):
+        ctx = gpu.create_context("t")
+        a, b, c = ctx.alloc((16,)), ctx.alloc((16,)), ctx.alloc((16,))
+        ctx.memcpy_h2d(a, np.arange(16, dtype=np.float32))
+        ctx.memcpy_h2d(b, np.ones(16, np.float32))
+        ctx.launch("vecadd", [a, b, c])
+        assert np.all(ctx.memcpy_d2h(c) == np.arange(16) + 1)
+
+    def test_launch_is_asynchronous(self, gpu):
+        ctx = gpu.create_context("t")
+        a, b, c = ctx.alloc((16,)), ctx.alloc((16,)), ctx.alloc((16,))
+        before = gpu.clock.now
+        ctx.launch("vecadd", [a, b, c])
+        assert gpu.clock.now == before  # caller did not wait
+
+    def test_synchronize_joins_stream(self, gpu):
+        ctx = gpu.create_context("t")
+        a, b, c = ctx.alloc((16,)), ctx.alloc((16,)), ctx.alloc((16,))
+        ctx.launch("vecadd", [a, b, c])
+        ctx.synchronize()
+        assert gpu.clock.now >= gpu.costs.gpu_kernel_launch_us
+
+    def test_unknown_kernel_rejected(self, gpu):
+        ctx = gpu.create_context("t")
+        with pytest.raises(GpuError, match="no kernel"):
+            ctx.launch("nonexistent", [])
+
+    def test_sim_scale_multiplies_duration(self, gpu):
+        ctx = gpu.create_context("t")
+        a, b, c = ctx.alloc((1024,)), ctx.alloc((1024,)), ctx.alloc((1024,))
+        t1 = ctx.launch("vecadd", [a, b, c])
+        base = t1 - max(0.0, 0.0)
+        ctx2 = gpu.create_context("t2")
+        x, y, z = ctx2.alloc((1024,)), ctx2.alloc((1024,)), ctx2.alloc((1024,))
+        start = ctx2.stream.available_at
+        t2 = ctx2.launch("vecadd", [x, y, z], sim_scale=100.0)
+        assert (t2 - start) > base
+
+    def test_d2h_waits_for_pending_kernels(self, gpu):
+        ctx = gpu.create_context("t")
+        a, b, c = ctx.alloc((16,)), ctx.alloc((16,)), ctx.alloc((16,))
+        ctx.launch("vecadd", [a, b, c])
+        completion = ctx.stream.available_at
+        ctx.memcpy_d2h(c)
+        assert gpu.clock.now >= completion
+
+
+class TestSpatialSharing:
+    def test_utilization_curve_shape(self):
+        """One tenant underuses the GPU; 2-3 tenants raise aggregate
+        utilization by up to ~63% (figure 11a's premise); 4 contend."""
+        assert utilization(1) < utilization(2) <= utilization(3)
+        assert utilization(4) < utilization(3)
+        gain = (utilization(2) - utilization(1)) / utilization(1)
+        assert 0.5 < gain < 0.75  # the paper reports up to 63.4%
+
+    def test_utilization_degrades_beyond_four(self):
+        assert utilization(6) < utilization(4)
+        assert utilization(20) >= 0.45
+
+    def test_zero_contexts(self):
+        assert utilization(0) == 0.0
+
+    def test_kernel_slower_under_contention(self, gpu):
+        ctx1 = gpu.create_context("a")
+        a, b, c = ctx1.alloc((1024,)), ctx1.alloc((1024,)), ctx1.alloc((1024,))
+        solo_end = ctx1.launch("vecadd", [a, b, c], sim_scale=1000.0)
+        solo = solo_end - 0.0
+        for i in range(3):
+            gpu.create_context(f"extra{i}")
+        start = ctx1.stream.available_at
+        shared_end = ctx1.launch("vecadd", [a, b, c], sim_scale=1000.0)
+        assert (shared_end - start) > solo
+
+    def test_clear_state_destroys_contexts_and_zeroes(self, gpu):
+        ctx = gpu.create_context("t")
+        handle = ctx.alloc((64,))
+        ctx.memcpy_h2d(handle, np.ones(64, np.float32))
+        buffer_view = ctx.buffer(handle)
+        cleared = gpu.clear_state()
+        assert cleared == 256
+        assert gpu.bytes_in_use == 0
+        assert gpu.active_contexts() == 0
+        assert np.all(buffer_view == 0.0)  # scrubbed, not just dropped
+
+    @given(st.integers(min_value=1, max_value=12))
+    def test_per_tenant_share_never_exceeds_full_machine(self, k):
+        assert utilization(k) / k <= 1.0
+
+
+class TestFlopAccounting:
+    def test_matmul_flops(self):
+        from repro.accel.gpu import KERNEL_REGISTRY
+
+        a = np.zeros((8, 16), np.float32)
+        b = np.zeros((16, 4), np.float32)
+        c = np.zeros((8, 4), np.float32)
+        assert KERNEL_REGISTRY["matmul"].flops(a, b, c) == 2 * 8 * 16 * 4
+
+    def test_duration_includes_launch_overhead(self, gpu):
+        ctx = gpu.create_context("t")
+        a, b, c = ctx.alloc((1,)), ctx.alloc((1,)), ctx.alloc((1,))
+        end = ctx.launch("vecadd", [a, b, c])
+        assert end >= gpu.costs.gpu_kernel_launch_us
+
+
+class TestMigMode:
+    def test_mode_switch_requires_idle_gpu(self, gpu):
+        from repro.accel.gpu import SHARING_MIG
+
+        gpu.create_context("t")
+        with pytest.raises(GpuError, match="active contexts"):
+            gpu.set_sharing_mode(SHARING_MIG)
+
+    def test_unknown_mode_rejected(self, gpu):
+        with pytest.raises(GpuError, match="unknown sharing mode"):
+            gpu.set_sharing_mode("timeshare")
+
+    def test_mig_slice_limit(self, gpu):
+        from repro.accel.gpu import SHARING_MIG
+
+        gpu.set_sharing_mode(SHARING_MIG, mig_slices=2)
+        gpu.create_context("a")
+        gpu.create_context("b")
+        with pytest.raises(GpuError, match="MIG instances occupied"):
+            gpu.create_context("c")
+
+    def test_mig_duration_independent_of_neighbours(self, gpu):
+        from repro.accel.gpu import SHARING_MIG
+
+        gpu.set_sharing_mode(SHARING_MIG, mig_slices=4)
+        ctx = gpu.create_context("a")
+        a, b, c = ctx.alloc((1024,)), ctx.alloc((1024,)), ctx.alloc((1024,))
+        solo_end = ctx.launch("vecadd", [a, b, c], sim_scale=1000.0)
+        solo = solo_end - 0.0
+        for i in range(3):
+            gpu.create_context(f"n{i}")
+        start = ctx.stream.available_at
+        shared_end = ctx.launch("vecadd", [a, b, c], sim_scale=1000.0)
+        assert (shared_end - start) == pytest.approx(solo, rel=1e-9)
+
+    def test_mig_share_is_fixed_fraction(self, gpu):
+        from repro.accel.gpu import SHARING_MIG, utilization
+
+        gpu.set_sharing_mode(SHARING_MIG, mig_slices=4)
+        ctx = gpu.create_context("a")
+        a, b, c = ctx.alloc((1024,)), ctx.alloc((1024,)), ctx.alloc((1024,))
+        mig_end = ctx.launch("vecadd", [a, b, c], sim_scale=1000.0)
+        # Compare against MPS with 1 tenant: MIG slice (25%) is slower
+        # than a lone MPS tenant (55% utilization).
+        gpu2 = GpuDevice(
+            "gpu-mps", SimClock(), CostModel(), mmio=MMIORegion(0x2000, 0x100),
+            irq=5, memory_bytes=1 << 20,
+        )
+        ctx2 = gpu2.create_context("a")
+        x, y, z = ctx2.alloc((1024,)), ctx2.alloc((1024,)), ctx2.alloc((1024,))
+        mps_end = ctx2.launch("vecadd", [x, y, z], sim_scale=1000.0)
+        assert mig_end > mps_end

@@ -1,0 +1,209 @@
+"""NPU (VTA ISA) and CPU device simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.cpu import CpuDevice
+from repro.accel.npu import (
+    NpuDevice,
+    NpuError,
+    NpuProgram,
+    OP_ADD,
+    OP_MAX,
+    OP_MIN,
+    OP_MUL,
+    OP_SHR,
+    alu,
+    finish,
+    gemm,
+    load,
+    store,
+)
+from repro.hw.devices import MMIORegion
+from repro.sim import CostModel, SimClock
+
+
+@pytest.fixture
+def npu():
+    return NpuDevice(
+        "npu0", SimClock(), CostModel(), mmio=MMIORegion(0x2000, 0x100), irq=5
+    )
+
+
+def _gemm_program(shift=0, relu=False):
+    program = (
+        NpuProgram("p")
+        .append(load("inp", "inp"))
+        .append(load("wgt", "wgt"))
+        .append(gemm())
+    )
+    if shift:
+        program.append(alu(OP_SHR, imm=shift))
+    if relu:
+        program.append(alu(OP_MAX, imm=0))
+    return program.append(store("out")).append(finish())
+
+
+class TestNpuGemm:
+    def test_gemm_matches_numpy(self, npu):
+        rng = np.random.default_rng(0)
+        inp = rng.integers(-8, 8, (4, 6)).astype(np.int8)
+        wgt = rng.integers(-8, 8, (5, 6)).astype(np.int8)
+        npu.write_tensor("inp", inp)
+        npu.write_tensor("wgt", wgt)
+        npu.run(_gemm_program())
+        out = npu.read_tensor("out")
+        assert np.array_equal(out, inp.astype(np.int32) @ wgt.astype(np.int32).T)
+
+    def test_int8_saturating_store(self, npu):
+        npu.write_tensor("inp", np.full((2, 64), 127, np.int8))
+        npu.write_tensor("wgt", np.full((2, 64), 127, np.int8))
+        npu.write_tensor("out", np.zeros((2, 2), np.int8))  # int8 destination
+        npu.run(_gemm_program())
+        assert np.all(npu.read_tensor("out") == 127)  # clipped, not wrapped
+
+    def test_shift_requantization(self, npu):
+        npu.write_tensor("inp", np.full((1, 4), 4, np.int8))
+        npu.write_tensor("wgt", np.full((1, 4), 4, np.int8))
+        npu.run(_gemm_program(shift=3))
+        assert npu.read_tensor("out")[0, 0] == (4 * 4 * 4) >> 3
+
+    def test_relu_clamps_negative(self, npu):
+        npu.write_tensor("inp", np.full((1, 4), -4, np.int8))
+        npu.write_tensor("wgt", np.full((1, 4), 4, np.int8))
+        npu.run(_gemm_program(relu=True))
+        assert npu.read_tensor("out")[0, 0] == 0
+
+    def test_gemm_without_loads_rejected(self, npu):
+        program = NpuProgram("bad").append(gemm())
+        with pytest.raises(NpuError):
+            npu.run(program)
+
+    def test_missing_tensor_rejected(self, npu):
+        with pytest.raises(NpuError, match="no tensor"):
+            npu.run(_gemm_program())
+
+    def test_store_before_data_rejected(self, npu):
+        with pytest.raises(NpuError):
+            npu.run(NpuProgram("bad").append(store("out")))
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_gemm_any_shape_matches_numpy(self, m, k, n, seed):
+        npu = NpuDevice(
+            "npu-prop", SimClock(), CostModel(), mmio=MMIORegion(0x2000, 0x100), irq=5
+        )
+        rng = np.random.default_rng(seed)
+        inp = rng.integers(-16, 16, (m, k)).astype(np.int8)
+        wgt = rng.integers(-16, 16, (n, k)).astype(np.int8)
+        npu.write_tensor("inp", inp)
+        npu.write_tensor("wgt", wgt)
+        npu.run(_gemm_program())
+        assert np.array_equal(
+            npu.read_tensor("out"), inp.astype(np.int32) @ wgt.astype(np.int32).T
+        )
+
+
+class TestNpuAlu:
+    def _run_alu(self, npu, instruction, acc):
+        npu.write_tensor("acc_src", acc.astype(np.int32))
+        program = (
+            NpuProgram("alu")
+            .append(load("acc", "acc_src"))
+            .append(instruction)
+            .append(store("out"))
+        )
+        npu.run(program)
+        return npu.read_tensor("out")
+
+    def test_add_imm(self, npu):
+        out = self._run_alu(npu, alu(OP_ADD, imm=5), np.array([[1, 2]]))
+        assert np.array_equal(out, [[6, 7]])
+
+    def test_mul_imm(self, npu):
+        out = self._run_alu(npu, alu(OP_MUL, imm=3), np.array([[2, -2]]))
+        assert np.array_equal(out, [[6, -6]])
+
+    def test_shr(self, npu):
+        out = self._run_alu(npu, alu(OP_SHR, imm=2), np.array([[16, 17]]))
+        assert np.array_equal(out, [[4, 4]])
+
+    def test_max_min(self, npu):
+        assert np.array_equal(
+            self._run_alu(npu, alu(OP_MAX, imm=0), np.array([[-3, 3]])), [[0, 3]]
+        )
+        assert np.array_equal(
+            self._run_alu(npu, alu(OP_MIN, imm=2), np.array([[-3, 3]])), [[-3, 2]]
+        )
+
+    def test_tensor_operand(self, npu):
+        npu.write_tensor("other", np.array([[10, 20]], np.int32))
+        out = self._run_alu(npu, alu(OP_ADD, src="other"), np.array([[1, 2]]))
+        assert np.array_equal(out, [[11, 22]])
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(NpuError):
+            alu("xor", imm=1)
+
+    def test_bad_scratchpad_rejected(self):
+        with pytest.raises(NpuError):
+            load("bogus", "t")
+
+
+class TestNpuTiming:
+    def test_run_is_asynchronous(self, npu):
+        npu.write_tensor("inp", np.ones((2, 2), np.int8))
+        npu.write_tensor("wgt", np.ones((2, 2), np.int8))
+        before = npu.clock.now
+        npu.run(_gemm_program())
+        assert npu.clock.now == before
+
+    def test_read_tensor_joins_queue(self, npu):
+        npu.write_tensor("inp", np.ones((2, 2), np.int8))
+        npu.write_tensor("wgt", np.ones((2, 2), np.int8))
+        npu.run(_gemm_program())
+        queue_end = npu.queue.available_at
+        npu.read_tensor("out")
+        assert npu.clock.now >= queue_end
+
+    def test_sim_scale_stretches_duration(self, npu):
+        npu.write_tensor("inp", np.ones((4, 4), np.int8))
+        npu.write_tensor("wgt", np.ones((4, 4), np.int8))
+        base_prog = _gemm_program()
+        end1 = npu.run(base_prog)
+        scaled = _gemm_program()
+        scaled.sim_scale = 1000.0
+        start = npu.queue.available_at
+        end2 = npu.run(scaled)
+        assert (end2 - start) > (end1 - 0.0)
+
+    def test_clear_state_scrubs_tensors(self, npu):
+        npu.write_tensor("inp", np.ones((8, 8), np.int8))
+        cleared = npu.clear_state()
+        assert cleared == 64
+        with pytest.raises(NpuError):
+            npu.read_tensor("inp")
+
+
+class TestCpuDevice:
+    def test_execute_returns_result(self):
+        cpu = CpuDevice("cpu0", SimClock(), CostModel(), mmio=MMIORegion(0x0, 0x100), irq=3)
+        assert cpu.execute(lambda a, b: a + b, 2, 3) == 5
+
+    def test_flops_charge_time(self):
+        clock = SimClock()
+        cpu = CpuDevice("cpu0", clock, CostModel(), mmio=MMIORegion(0x0, 0x100), irq=3)
+        cpu.execute(lambda: None, flops=2_000.0)
+        assert clock.now == pytest.approx(1.0)  # 2000 flops at 2000 flops/us
+
+    def test_call_counter(self):
+        cpu = CpuDevice("cpu0", SimClock(), CostModel(), mmio=MMIORegion(0x0, 0x100), irq=3)
+        cpu.execute(lambda: None)
+        cpu.execute(lambda: None)
+        assert cpu.calls_executed == 2

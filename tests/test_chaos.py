@@ -1,0 +1,151 @@
+"""Chaos soak test: randomized mixed workloads with injected failures.
+
+A seeded scheduler interleaves tenant work (GPU compute, NPU inference,
+channel churn) with partition crashes, watchdog recoveries and mOS updates,
+then asserts the global invariants CRONUS promises:
+
+* every partition ends READY (recovery always completes),
+* surviving tenants' computations stay *correct* throughout,
+* no shared page of a failed partition remains readable with stale data,
+* the secure-memory bookkeeping stays consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rpc.channel import SRPCPeerFailure
+from repro.secure.partition import PartitionState
+from repro.systems import CronusSystem, TestbedConfig
+from repro.workloads.vta_bench import BENCH_PROGRAMS, run_alu
+
+
+class ChaosTenant:
+    """A tenant that keeps recreating its runtime after crashes."""
+
+    def __init__(self, system: CronusSystem, name: str, kind: str) -> None:
+        self.system = system
+        self.name = name
+        self.kind = kind
+        self.runtime = None
+        self.completed = 0
+        self.failures_survived = 0
+
+    def _ensure_runtime(self) -> None:
+        if self.runtime is None:
+            if self.kind == "gpu":
+                self.runtime = self.system.runtime(
+                    cuda_kernels=("matmul",), owner=f"{self.name}-{self.failures_survived}"
+                )
+            else:
+                self.runtime = self.system.runtime(
+                    npu_programs=dict(BENCH_PROGRAMS),
+                    owner=f"{self.name}-{self.failures_survived}",
+                )
+
+    def work(self) -> None:
+        """One correct unit of work; resubmits after peer failures."""
+        try:
+            self._ensure_runtime()
+            if self.kind == "gpu":
+                rng = np.random.default_rng(self.completed)
+                a = rng.standard_normal((12, 12)).astype(np.float32)
+                ha = self.runtime.cudaMalloc((12, 12))
+                hc = self.runtime.cudaMalloc((12, 12))
+                self.runtime.cudaMemcpyH2D(ha, a)
+                self.runtime.cudaLaunchKernel("matmul", [ha, ha, hc])
+                out = self.runtime.cudaMemcpyD2H(hc)
+                assert np.allclose(out, a @ a, atol=1e-2), "corrupted result!"
+                self.runtime.cudaFree(ha)
+                self.runtime.cudaFree(hc)
+            else:
+                run_alu(self.runtime, size=8, iters=1, seed=self.completed + 100)
+            self.completed += 1
+        except SRPCPeerFailure:
+            self.failures_survived += 1
+            self.runtime = None  # resubmit with a fresh enclave next time
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2], ids=lambda s: f"seed{s}")
+def test_chaos_schedule(seed):
+    rng = np.random.default_rng(seed)
+    system = CronusSystem(TestbedConfig(num_gpus=2, with_npu=True))
+    tenants = [
+        ChaosTenant(system, "alpha", "gpu"),
+        ChaosTenant(system, "beta", "gpu"),
+        ChaosTenant(system, "gamma", "npu"),
+    ]
+    crashes = 0
+    updates = 0
+    for step in range(60):
+        action = rng.integers(0, 10)
+        if action < 6:
+            rng.choice(tenants).work()
+        elif action < 8:
+            device = rng.choice(["gpu0", "gpu1", "npu0"])
+            system.fail_partition(device)
+            crashes += 1
+        elif action == 8 and updates < 3:
+            device = rng.choice(["gpu0", "npu0"])
+            system.update_mos(device, f"chaos image v{step}".encode())
+            updates += 1
+        else:
+            for tenant in tenants:
+                tenant.work()
+
+    # --- invariants -----------------------------------------------------
+    assert crashes > 0, "schedule never crashed anything; widen the test"
+    for mos in system.moses.values():
+        assert mos.partition.state is PartitionState.READY
+    # Work continued through the chaos.
+    assert sum(t.completed for t in tenants) > 20
+    # Every tenant that saw a failure successfully resubmitted afterwards.
+    for tenant in tenants:
+        tenant.work()
+        assert tenant.completed > 0
+    # Stats stay self-consistent.
+    stats = system.stats()
+    for name, partition in stats["partitions"].items():
+        assert partition["state"] == "ready"
+        assert partition["reserved_bytes"] >= 0
+
+
+def test_chaos_repeated_crash_recover_cycle():
+    """Crash the same partition many times in a row; each recovery must be
+    complete and independent (no state accumulation)."""
+    system = CronusSystem()
+    reports = []
+    for i in range(8):
+        rt = system.runtime(cuda_kernels=("vecadd",), owner=f"cycle-{i}")
+        handle = rt.cudaMalloc((64,))
+        rt.cudaMemcpyH2D(handle, np.full(64, float(i), np.float32))
+        reports.append(system.fail_partition("gpu0"))
+        with pytest.raises(SRPCPeerFailure):
+            rt.cudaMalloc((4,))
+    assert system.moses["gpu0"].partition.restarts == 8
+    # Recovery cost stays flat: no leak makes later recoveries slower.
+    first, last = reports[0].total_us, reports[-1].total_us
+    assert last < first * 1.5
+    # And the partition still serves new tenants.
+    rt = system.runtime(cuda_kernels=("vecadd",), owner="survivor")
+    a = rt.cudaMalloc((8,))
+    rt.cudaMemcpyH2D(a, np.ones(8, np.float32))
+    rt.cudaLaunchKernel("vecadd", [a, a, a])
+    assert np.all(rt.cudaMemcpyD2H(a) == 2.0)
+    system.release(rt)
+
+
+def test_smem_pages_recycled_across_failures():
+    """The section IV-D reclamation rule: failed channels return their
+    smem pages, so repeated crash/resubmit cycles do not leak secure
+    memory (the allocator's bump pointer stabilizes)."""
+    system = CronusSystem()
+    bumps = []
+    for i in range(6):
+        rt = system.runtime(cuda_kernels=("vecadd",), owner=f"leak-{i}")
+        rt.cudaMalloc((16,))
+        system.fail_partition("gpu0")
+        with pytest.raises(SRPCPeerFailure):
+            rt.cudaMalloc((16,))
+        bumps.append(system.spm._bump)
+    # After the first cycle primes the pool, later cycles reuse pages.
+    assert bumps[-1] == bumps[1]

@@ -1,0 +1,121 @@
+"""RemoteClient attestation workflow and HIX temporal-sharing costs."""
+
+import pytest
+
+from repro.dispatch.client import RemoteClient
+from repro.enclave.images import CpuImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.secure.monitor import AttestationError
+from repro.systems import HixTrustZone
+
+
+def _device_certs(system):
+    return {
+        d.name: d.vendor_cert
+        for d in system.platform.devices()
+        if d.vendor_cert is not None and d.device_type != "cpu"
+    }
+
+
+def _victim(cronus):
+    app = cronus.application("client-test")
+    image = CpuImage(
+        name="v",
+        functions={
+            "ingest": lambda state, blob: state.__setitem__("blob", blob),
+            "peek": lambda state: state.get("blob"),
+        },
+    )
+    manifest = Manifest(
+        device_type="cpu",
+        images={"v.so": image.digest()},
+        mecalls=(MECallSpec("ingest"), MECallSpec("peek")),
+    )
+    return app.create_enclave(manifest, image, "v.so")
+
+
+class TestRemoteClient:
+    def test_verify_then_provision(self, cronus):
+        handle = _victim(cronus)
+        client = RemoteClient.for_system(cronus)
+        client.verify(cronus.attest_platform(), _device_certs(cronus))
+        assert client.attested
+        client.provision(handle, "ingest", b"user data")
+        sealed = handle.ecall("peek")
+        assert sealed != b"user data"
+        assert handle.unseal(sealed) == b"user data"
+
+    def test_refuses_provision_before_attestation(self, cronus):
+        handle = _victim(cronus)
+        client = RemoteClient.for_system(cronus)
+        with pytest.raises(AttestationError, match="before attestation"):
+            client.provision(handle, "ingest", b"user data")
+
+    def test_pinned_mos_hash_mismatch_rejected(self, cronus):
+        client = RemoteClient.for_system(
+            cronus, expected_mos_hashes={"mos-gpu0": "ff" * 32}
+        )
+        with pytest.raises(AttestationError, match="audited version"):
+            client.verify(cronus.attest_platform(), _device_certs(cronus))
+
+    def test_pinned_mos_hash_match_accepted(self, cronus):
+        genuine = cronus.monitor.mos_measurements()["mos-gpu0"]
+        client = RemoteClient.for_system(
+            cronus, expected_mos_hashes={"mos-gpu0": genuine}
+        )
+        client.verify(cronus.attest_platform(), _device_certs(cronus))
+        assert client.attested
+
+    def test_wrong_anchor_rejected(self, cronus):
+        from repro.crypto.certs import CertificateAuthority
+
+        rogue = CertificateAuthority("rogue", b"rogue-seed")
+        client = RemoteClient(
+            rogue.public,
+            {name: ca.public for name, ca in cronus.platform.vendors.items()},
+        )
+        with pytest.raises(AttestationError):
+            client.verify(cronus.attest_platform(), _device_certs(cronus))
+
+
+class TestHixTemporalSharing:
+    def test_first_tenant_pays_no_reset(self):
+        system = HixTrustZone()
+        before = system.clock.now
+        rt = system.runtime(cuda_kernels=("vecadd",))
+        assert system.clock.now - before < system.platform.costs.accelerator_reset_us
+        rt.close()
+
+    def test_tenant_switch_cold_reboots_accelerator(self):
+        """Table I remark 1: dedicated-access designs cold-reboot the
+        accelerator when switching tenants."""
+        system = HixTrustZone()
+        rt1 = system.runtime(cuda_kernels=("vecadd",))
+        handle = rt1.cudaMalloc((64,))
+        rt1.close()
+        gpu = system.platform.device("gpu0")
+        before = system.clock.now
+        rt2 = system.runtime(cuda_kernels=("vecadd",))
+        assert system.clock.now - before >= system.platform.costs.accelerator_reset_us
+        assert gpu.bytes_in_use == 0  # previous tenant's state cleared
+        rt2.close()
+
+    def test_switch_cost_dwarfs_cronus_context_create(self):
+        """The R2 economics: CRONUS adds a tenant in ~half a millisecond;
+        HIX's temporal switch costs an accelerator reset."""
+        from repro.systems import CronusSystem
+
+        cronus = CronusSystem()
+        start = cronus.clock.now
+        rt = cronus.runtime(cuda_kernels=("vecadd",), owner="t2")
+        cronus_cost = cronus.clock.now - start
+        cronus.release(rt)
+
+        hix = HixTrustZone()
+        hix.runtime(cuda_kernels=("vecadd",)).close()
+        start = hix.clock.now
+        rt2 = hix.runtime(cuda_kernels=("vecadd",))
+        hix_cost = hix.clock.now - start
+        rt2.close()
+
+        assert hix_cost > 50 * cronus_cost

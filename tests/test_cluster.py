@@ -1,0 +1,96 @@
+"""The section VII-C distributed extension: mesh attestation, scheduling,
+cross-node training, node-failure rescheduling."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterError, distributed_train
+
+
+class TestClusterMesh:
+    def test_mesh_attestation_counts(self):
+        cluster = Cluster(num_nodes=3)
+        assert cluster.attest_mesh() == 3 * 2  # pairwise, directed
+        assert len(cluster.attested_nodes()) == 3
+
+    def test_dead_node_excluded_from_mesh(self):
+        cluster = Cluster(num_nodes=3)
+        cluster.fail_node("node2")
+        assert cluster.attest_mesh() == 2 * 1
+        assert len(cluster.attested_nodes()) == 2
+
+    def test_capacity_check(self):
+        cluster = Cluster(num_nodes=2)
+        cluster.attest_mesh()
+        with pytest.raises(ClusterError, match="attested nodes"):
+            cluster.require_capacity(3)
+
+    def test_unknown_node(self):
+        with pytest.raises(ClusterError, match="no node"):
+            Cluster(num_nodes=1).fail_node("node9")
+
+    def test_attestation_charges_network_time(self):
+        cluster = Cluster(num_nodes=2)
+        before = [n.system.clock.now for n in cluster.nodes]
+        cluster.attest_mesh()
+        after = [n.system.clock.now for n in cluster.nodes]
+        assert all(b < a for b, a in zip(before, after))
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ClusterError):
+            Cluster(num_nodes=0)
+
+
+class TestAllreduceCost:
+    def test_single_node_free(self):
+        assert Cluster(num_nodes=1).allreduce_time_us(1 << 20, 1) == 0.0
+
+    def test_network_costs_more_than_intra_machine(self):
+        """Locality matters: cross-node exchange (encrypted network) is far
+        more expensive than intra-machine PCIe P2P for the same volume."""
+        from repro.sim.costs import CostModel
+        from repro.workloads.distributed import comm_time_us
+
+        cluster = Cluster(num_nodes=2)
+        volume = 1 << 20
+        cross = cluster.allreduce_time_us(volume, 2)
+        intra = comm_time_us(CostModel(), volume, 2, "p2p")
+        assert cross > 10 * intra
+
+    def test_grows_with_participants(self):
+        cluster = Cluster(num_nodes=4)
+        assert cluster.allreduce_time_us(1 << 20, 4) > cluster.allreduce_time_us(1 << 20, 2)
+
+
+class TestDistributedTraining:
+    def test_scaling_reduces_time(self):
+        times = {}
+        for n in (1, 2):
+            cluster = Cluster(num_nodes=2)
+            times[n] = distributed_train(cluster, nodes=n, total_samples=64).total_time_us
+        assert times[2] < times[1]
+
+    def test_node_failure_rescheduled(self):
+        cluster = Cluster(num_nodes=2)
+        result = distributed_train(
+            cluster, nodes=2, total_samples=96, fail_node_at_step=1
+        )
+        assert result.reschedules == 1
+        # The job still finished (survivor processed the remaining shards).
+        assert result.steps >= 3
+        assert not cluster.node("node1").alive
+
+    def test_all_nodes_failing_loses_job(self):
+        cluster = Cluster(num_nodes=1)
+        cluster.attest_mesh()
+        with pytest.raises(ClusterError, match="all nodes failed|attested nodes"):
+            cluster.fail_node("node0")
+            distributed_train(cluster, nodes=1, total_samples=32)
+
+    def test_losses_finite_and_steps_counted(self):
+        cluster = Cluster(num_nodes=2)
+        result = distributed_train(cluster, nodes=2, total_samples=64)
+        import numpy as np
+
+        assert np.isfinite(result.final_loss)
+        assert result.steps == 2  # 64 samples / (16 batch * 2 nodes)
+        assert result.comm_time_us > 0

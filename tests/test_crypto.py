@@ -1,0 +1,160 @@
+"""Crypto substrate: measurements, signatures, DH, certificates, sealing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    AuthTagError,
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    DiffieHellman,
+    SignatureError,
+    generate_keypair,
+    hexdigest,
+    measure,
+    measure_many,
+    seal,
+    unseal,
+)
+from repro.crypto.certs import verify_certificate
+from repro.crypto.dh import mac, mac_valid
+
+
+class TestMeasurement:
+    def test_deterministic(self):
+        assert measure(b"image") == measure(b"image")
+
+    def test_distinct_inputs(self):
+        assert measure(b"a") != measure(b"b")
+
+    def test_accepts_str(self):
+        assert measure("abc") == measure(b"abc")
+
+    def test_hexdigest_is_hex_of_measure(self):
+        assert bytes.fromhex(hexdigest(b"x")) == measure(b"x")
+
+    def test_measure_many_boundary_sensitivity(self):
+        assert measure_many([b"ab", b"c"]) != measure_many([b"a", b"bc"])
+
+    @given(st.lists(st.binary(max_size=64), max_size=8))
+    def test_measure_many_deterministic(self, parts):
+        assert measure_many(parts) == measure_many(parts)
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        keys = generate_keypair(b"seed")
+        sig = keys.sign(b"hello")
+        keys.public.verify(b"hello", sig)  # must not raise
+
+    def test_wrong_message_rejected(self):
+        keys = generate_keypair(b"seed")
+        sig = keys.sign(b"hello")
+        with pytest.raises(SignatureError):
+            keys.public.verify(b"tampered", sig)
+
+    def test_wrong_key_rejected(self):
+        sig = generate_keypair(b"a").sign(b"msg")
+        assert not generate_keypair(b"b").public.is_valid(b"msg", sig)
+
+    def test_deterministic_keygen(self):
+        assert generate_keypair(b"s").public.element == generate_keypair(b"s").public.element
+
+    def test_distinct_seeds_distinct_keys(self):
+        assert generate_keypair(b"s1").public.element != generate_keypair(b"s2").public.element
+
+    def test_fingerprint_stable(self):
+        pub = generate_keypair(b"s").public
+        assert pub.fingerprint() == pub.fingerprint()
+        assert len(pub.fingerprint()) == 16
+
+    @given(st.binary(min_size=1, max_size=128))
+    def test_any_message_roundtrips(self, message):
+        keys = generate_keypair(b"prop-seed")
+        assert keys.public.is_valid(message, keys.sign(message))
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_cross_message_never_verifies(self, m1, m2):
+        if m1 == m2:
+            return
+        keys = generate_keypair(b"prop-seed")
+        assert not keys.public.is_valid(m2, keys.sign(m1))
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agreement(self):
+        alice, bob = DiffieHellman(b"alice"), DiffieHellman(b"bob")
+        assert alice.shared_secret(bob.public) == bob.shared_secret(alice.public)
+
+    def test_distinct_pairs_distinct_secrets(self):
+        alice, bob, carol = DiffieHellman(b"a"), DiffieHellman(b"b"), DiffieHellman(b"c")
+        assert alice.shared_secret(bob.public) != alice.shared_secret(carol.public)
+
+    def test_rejects_degenerate_public(self):
+        with pytest.raises(ValueError):
+            DiffieHellman(b"x").shared_secret(1)
+
+    def test_mac_roundtrip(self):
+        secret = DiffieHellman(b"a").shared_secret(DiffieHellman(b"b").public)
+        tag = mac(secret, b"msg")
+        assert mac_valid(secret, b"msg", tag)
+        assert not mac_valid(secret, b"other", tag)
+        assert not mac_valid(b"\x00" * 32, b"msg", tag)
+
+
+class TestCertificates:
+    def test_endorse_and_verify(self):
+        ca = CertificateAuthority("nvidia", b"ca-seed")
+        subject = generate_keypair(b"device").public
+        cert = ca.endorse("gpu0", subject)
+        verify_certificate(cert, ca.public)  # must not raise
+
+    def test_wrong_anchor_rejected(self):
+        ca = CertificateAuthority("nvidia", b"ca-seed")
+        other = CertificateAuthority("amd", b"other-seed")
+        cert = ca.endorse("gpu0", generate_keypair(b"device").public)
+        with pytest.raises(CertificateError):
+            verify_certificate(cert, other.public)
+
+    def test_subject_swap_rejected(self):
+        ca = CertificateAuthority("nvidia", b"ca-seed")
+        cert = ca.endorse("gpu0", generate_keypair(b"device").public)
+        forged = Certificate(
+            subject_name=cert.subject_name,
+            subject=generate_keypair(b"evil").public,
+            issuer_name=cert.issuer_name,
+            signature=cert.signature,
+        )
+        with pytest.raises(CertificateError):
+            verify_certificate(forged, ca.public)
+
+
+class TestSeal:
+    def test_roundtrip(self):
+        key = b"k" * 32
+        assert unseal(key, seal(key, b"secret data")) == b"secret data"
+
+    def test_wrong_key_rejected(self):
+        sealed = seal(b"k" * 32, b"secret")
+        with pytest.raises(AuthTagError):
+            unseal(b"x" * 32, sealed)
+
+    def test_tamper_rejected(self):
+        sealed = bytearray(seal(b"k" * 32, b"secret"))
+        sealed[10] ^= 0xFF
+        with pytest.raises(AuthTagError):
+            unseal(b"k" * 32, bytes(sealed))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(AuthTagError):
+            unseal(b"k" * 32, b"short")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        sealed = seal(b"k" * 32, b"secret-bytes-here")
+        assert b"secret-bytes-here" not in sealed
+
+    @given(st.binary(max_size=512), st.binary(min_size=8, max_size=8))
+    def test_any_payload_roundtrips(self, payload, nonce):
+        key = b"prop-key-32-bytes-prop-key-32-by"
+        assert unseal(key, seal(key, payload, nonce=nonce)) == payload

@@ -1,0 +1,147 @@
+"""Edge cases and misuse paths across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.dispatcher import DispatchError, EnclaveDispatcher
+from repro.enclave.images import CpuImage, CudaImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.enclave.models import CUDA_MECALLS
+from repro.rpc.channel import ChannelError
+from repro.rpc.pipe import PipeError
+from repro.systems import CronusSystem
+
+
+class TestDispatcherEdges:
+    def test_empty_dispatcher(self):
+        with pytest.raises(DispatchError, match="no partition"):
+            EnclaveDispatcher().partition_for("gpu")
+
+    def test_unknown_device_name(self, cronus):
+        with pytest.raises(DispatchError):
+            cronus.dispatcher.partition_for("gpu", device_name="gpu9")
+
+    def test_unknown_mos_name(self, cronus):
+        with pytest.raises(DispatchError):
+            cronus.dispatcher.mos_named("mos-ghost")
+
+    def test_named_mos_lookup(self, cronus):
+        assert cronus.dispatcher.mos_named("mos-gpu0").device_type == "gpu"
+
+
+class TestChannelEdges:
+    def _pair(self, cronus):
+        app = cronus.application("edge")
+        image = CpuImage(name="e", functions={"f": lambda s: None})
+        manifest = Manifest(
+            device_type="cpu", images={"e.so": image.digest()},
+            mecalls=(MECallSpec("f", synchronous=False),),
+        )
+        a = app.create_enclave(manifest, image, "e.so")
+        b = app.create_enclave(manifest, image, "e.so")
+        return app, a, b
+
+    def test_double_close_is_idempotent(self, cronus):
+        app, a, b = self._pair(cronus)
+        channel = app.open_channel(a, b)
+        channel.close()
+        channel.close()  # must not raise
+
+    def test_mecall_not_in_manifest_via_channel(self, cronus):
+        from repro.enclave.manifest import ManifestError
+
+        app, a, b = self._pair(cronus)
+        channel = app.open_channel(a, b)
+        with pytest.raises(ManifestError, match="not declared|static list"):
+            channel.call("rm_rf")
+        channel.close()
+
+    def test_synchronize_specific_stream(self, cronus):
+        app, a, b = self._pair(cronus)
+        channel = app.open_channel(a, b)
+        channel.call("f", stream=2)
+        channel.synchronize(stream=2)
+        channel.close()
+
+
+class TestApplicationEdges:
+    def test_wrong_image_file_name(self, cronus):
+        from repro.enclave.manifest import ManifestError
+
+        app = cronus.application("edge2")
+        image = CpuImage(name="e", functions={"f": lambda s: None})
+        manifest = Manifest(
+            device_type="cpu", images={"e.so": image.digest()},
+            mecalls=(MECallSpec("f"),),
+        )
+        with pytest.raises(ManifestError, match="not declared"):
+            app.create_enclave(manifest, image, "other.so")
+
+    def test_application_identity_per_name(self, cronus):
+        assert cronus.application("x") is cronus.application("x")
+        assert cronus.application("x") is not cronus.application("y")
+
+
+class TestPipeEdges:
+    def test_closed_pipe_rejects_io(self, cronus):
+        from repro.rpc.pipe import TrustedPipe
+
+        app = cronus.application("pipe-edge")
+        image = CpuImage(name="p", functions={"f": lambda s: None})
+        manifest = Manifest(
+            device_type="cpu", images={"p.so": image.digest()},
+            mecalls=(MECallSpec("f"),),
+        )
+        a = app.create_enclave(manifest, image, "p.so")
+        b = app.create_enclave(manifest, image, "p.so")
+        pipe = TrustedPipe(a.endpoint(), b.endpoint(), cronus.spm, pages=1)
+        pipe.close()
+        with pytest.raises(PipeError, match="closed"):
+            pipe.write(b"x")
+
+
+class TestStats:
+    def test_cronus_stats_shape(self, cronus):
+        rt = cronus.runtime(cuda_kernels=("vecadd",), owner="stats")
+        a = rt.cudaMalloc((8,))
+        rt.cudaLaunchKernel("vecadd", [a, a, a])
+        rt.cudaDeviceSynchronize()
+        stats = cronus.stats()
+        assert stats["system"] == "cronus"
+        assert stats["devices"]["gpu0"]["kernels_launched"] >= 1
+        assert stats["partitions"]["part-gpu0"]["enclaves"] >= 1
+        assert stats["partitions"]["part-gpu0"]["state"] == "ready"
+        cronus.release(rt)
+
+    def test_stats_reflect_recovery(self, cronus):
+        cronus.fail_partition("gpu0")
+        stats = cronus.stats()
+        assert stats["partitions"]["part-gpu0"]["restarts"] == 1
+
+    def test_baseline_stats(self):
+        from repro.systems import NativeLinux
+
+        system = NativeLinux()
+        rt = system.runtime()
+        a = rt.cudaMalloc((8,))
+        rt.cudaLaunchKernel("vecadd", [a, a, a])
+        stats = system.stats()
+        assert stats["devices"]["gpu0"]["kernels_launched"] == 1
+        rt.close()
+
+
+class TestGpuBufferAliasEdge:
+    def test_alias_freed_with_context(self, cronus2gpu):
+        """Destroying the importing context must not free the exporter's
+        storage (alias handles do not own the bytes)."""
+        hal0 = cronus2gpu.moses["gpu0"].hal
+        hal1 = cronus2gpu.moses["gpu1"].hal
+        ctx0 = hal0.create_gpu_context("a")
+        ctx1 = hal1.create_gpu_context("a")
+        src = ctx0.alloc((16,))
+        ctx0.memcpy_h2d(src, np.ones(16, np.float32))
+        hal0.share_gpu_buffer(
+            ctx0, src, hal1, ctx1, spm=cronus2gpu.spm, bus=cronus2gpu.platform.secure_bus
+        )
+        ctx1.destroy()
+        assert np.all(ctx0.buffer(src) == 1.0)  # exporter data intact

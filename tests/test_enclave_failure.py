@@ -1,0 +1,107 @@
+"""mEnclave-level failures (section IV-D, "Handling mEnclave failures"):
+one enclave dies, its channels tear down, the partition keeps running."""
+
+import pytest
+
+from repro.enclave.images import CpuImage, CudaImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.enclave.models import CUDA_MECALLS
+from repro.rpc.channel import SRPCPeerFailure
+from repro.secure.partition import PartitionState
+
+
+def _pair(cronus, app_name="efail"):
+    app = cronus.application(app_name)
+    image = CpuImage(name="e", functions={"noop": lambda s: None})
+    manifest = Manifest(
+        device_type="cpu", images={"e.so": image.digest()},
+        mecalls=(MECallSpec("noop"),),
+    )
+    caller = app.create_enclave(manifest, image, "e.so")
+    cuda_image = CudaImage(name="ec", kernels=("vecadd",))
+    gpu_manifest = Manifest(
+        device_type="gpu", images={"ec.cubin": cuda_image.digest()},
+        mecalls=CUDA_MECALLS,
+    )
+    callee = app.create_enclave(gpu_manifest, cuda_image, "ec.cubin")
+    return app, caller, callee
+
+
+class TestEnclaveFailure:
+    def test_cross_partition_channel_traps(self, cronus):
+        app, caller, callee = _pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (8,))
+        invalidated = callee.mos.manager.fail_enclave(callee.eid)
+        assert invalidated > 0  # both mOSes' stage-2 entries invalidated
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (8,))
+
+    def test_partition_survives_enclave_failure(self, cronus):
+        app, caller, callee = _pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (8,))
+        callee.mos.manager.fail_enclave(callee.eid)
+        # No partition restart happened — this is not a partition failure.
+        assert callee.mos.partition.state is PartitionState.READY
+        assert callee.mos.partition.restarts == 0
+
+    def test_other_enclaves_in_partition_unaffected(self, cronus):
+        app, caller, victim = _pair(cronus)
+        cuda_image = CudaImage(name="ec", kernels=("vecadd",))
+        gpu_manifest = Manifest(
+            device_type="gpu", images={"ec.cubin": cuda_image.digest()},
+            mecalls=CUDA_MECALLS,
+        )
+        bystander = app.create_enclave(gpu_manifest, cuda_image, "ec.cubin")
+        bychannel = app.open_channel(caller, bystander)
+        victim.mos.manager.fail_enclave(victim.eid)
+        # The bystander's channel keeps working.
+        assert bychannel.call("cudaMalloc", (8,)) is not None
+        bychannel.close()
+
+    def test_intra_partition_enclave_failure(self, cronus):
+        """Same-partition channels have no stage-2 grant; the dead executor
+        still surfaces as a peer failure."""
+        app = cronus.application("intra")
+        image = CpuImage(name="e", functions={"noop": lambda s: None})
+        manifest = Manifest(
+            device_type="cpu", images={"e.so": image.digest()},
+            mecalls=(MECallSpec("noop", synchronous=False),),
+        )
+        caller = app.create_enclave(manifest, image, "e.so")
+        callee = app.create_enclave(manifest, image, "e.so")
+        channel = app.open_channel(caller, callee)
+        channel.call("noop")
+        callee.enclave.destroy()
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("noop")
+        assert channel.failed
+
+    def test_resources_released(self, cronus):
+        app, caller, callee = _pair(cronus)
+        manager = callee.mos.manager
+        reserved = manager.reserved_bytes
+        manager.fail_enclave(callee.eid)
+        assert manager.reserved_bytes < reserved
+
+
+class TestTrustDomainStructure:
+    def test_cronus_mos_sees_only_its_device(self, cronus):
+        """The R3.2 structure: each mOS's HAL holds exactly one device —
+        no cross-device code in any tenant's trust domain."""
+        for mos in cronus.moses.values():
+            assert mos.hal.device is mos.partition.device
+            assert mos.hal.device.device_type == mos.device_type
+
+    def test_monolithic_hal_spans_all_devices(self):
+        """The contrast: the monolithic secure OS's HAL reaches every
+        device — a tenant must trust all drivers (violating R3.2)."""
+        from repro.systems import MonolithicTrustZone
+        from repro.systems.base import DirectHal
+
+        system = MonolithicTrustZone()
+        hal = DirectHal(system.platform)
+        assert hal.gpu("gpu0").device_type == "gpu"
+        assert hal.npu_device.device_type == "npu"
+        assert hal.cpu_device.device_type == "cpu"

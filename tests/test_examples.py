@@ -1,0 +1,36 @@
+"""Every example script must run end to end (they are the documentation)."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+_EXAMPLES = [
+    "quickstart.py",
+    "dnn_training.py",
+    "npu_inference.py",
+    "failover_demo.py",
+    "attack_gallery.py",
+    "multi_tenant_paas.py",
+    "distributed_cluster.py",
+]
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda s: s.replace(".py", ""))
+def test_example_runs(script, capsys):
+    path = os.path.abspath(os.path.join(_EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"example {script} missing"
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+    assert "BREACH" not in out
+    assert "!!" not in out
+
+
+def test_examples_list_is_complete():
+    """Every script in examples/ is exercised above."""
+    actual = {f for f in os.listdir(_EXAMPLES_DIR) if f.endswith(".py")}
+    assert actual == set(_EXAMPLES)

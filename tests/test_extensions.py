@@ -1,0 +1,293 @@
+"""Extension features: child enclaves, multi-stream sRPC, trusted pipes,
+the RISC-V PMP backend (section VII-A), and RPC-mode ablation plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.application import WorkflowError
+from repro.enclave.images import CpuImage, CudaImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.enclave.models import CUDA_MECALLS
+from repro.hw.memory import AccessFault, PAGE_SIZE
+from repro.hw.pmp import PmpEntry, PmpPermission, PmpUnit
+from repro.rpc.channel import ChannelError
+from repro.rpc.pipe import PipeBrokenError, PipeError, TrustedPipe
+from repro.systems import CronusSystem, TestbedConfig
+
+
+def _cpu_image():
+    return CpuImage(
+        name="ext",
+        functions={
+            "put": lambda state, k, v: state.__setitem__(k, v),
+            "get": lambda state, k: state.get(k),
+        },
+    )
+
+
+def _cpu_manifest(image, *, synchronous=True):
+    return Manifest(
+        device_type="cpu",
+        images={"ext.so": image.digest()},
+        mecalls=(MECallSpec("put", synchronous=synchronous), MECallSpec("get")),
+    )
+
+
+def _cuda_pair(cronus, app_name="ext"):
+    app = cronus.application(app_name)
+    image = _cpu_image()
+    parent = app.create_enclave(_cpu_manifest(image), image, "ext.so")
+    cuda_image = CudaImage(name="extc", kernels=("vecadd",))
+    gpu_manifest = Manifest(
+        device_type="gpu", images={"extc.cubin": cuda_image.digest()},
+        mecalls=CUDA_MECALLS,
+    )
+    child = app.create_child_enclave(parent, gpu_manifest, cuda_image, "extc.cubin")
+    return app, parent, child
+
+
+class TestChildEnclaves:
+    def test_parent_owns_child(self, cronus):
+        app, parent, child = _cuda_pair(cronus)
+        assert child.parent is parent
+        assert child in parent.children
+        channel = app.open_child_channel(child)
+        assert channel.call("cudaMalloc", (8,)) is not None
+        channel.close()
+
+    def test_app_does_not_hold_a_working_secret_path(self, cronus):
+        """The untrusted app never ran the child's DH exchange: a channel
+        opened with any *other* enclave's secret fails dCheck."""
+        app, parent, child = _cuda_pair(cronus)
+        from repro.rpc.channel import SRPCChannel
+
+        with pytest.raises(ChannelError, match="dCheck"):
+            SRPCChannel(parent.endpoint(), child.endpoint(), parent.secret, cronus.spm)
+
+    def test_orphan_rejected(self, cronus):
+        app = cronus.application("orphan")
+        image = _cpu_image()
+        handle = app.create_enclave(_cpu_manifest(image), image, "ext.so")
+        with pytest.raises(WorkflowError, match="no parent"):
+            app.open_child_channel(handle)
+
+    def test_children_get_distinct_secrets(self, cronus):
+        app, parent, child1 = _cuda_pair(cronus)
+        cuda_image = CudaImage(name="extc", kernels=("vecadd",))
+        gpu_manifest = Manifest(
+            device_type="gpu", images={"extc.cubin": cuda_image.digest()},
+            mecalls=CUDA_MECALLS,
+        )
+        child2 = app.create_child_enclave(parent, gpu_manifest, cuda_image, "extc.cubin")
+        assert child1.secret != child2.secret
+
+
+class TestMultiStream:
+    def test_streams_created_on_demand(self, cronus):
+        app, parent, child = _cuda_pair(cronus)
+        channel = app.open_child_channel(child)
+        assert channel.stream_count() == 1
+        channel.call("cudaMalloc", (4,), stream=1)
+        channel.call("cudaMalloc", (4,), stream=2)
+        assert channel.stream_count() == 3
+        channel.close()
+
+    def test_streams_have_independent_progress(self, cronus):
+        app, parent, child = _cuda_pair(cronus)
+        channel = app.open_child_channel(child)
+        a = channel.call("cudaMalloc", (64,), stream=0)
+        channel.call("cudaFree", a, stream=0)  # async on stream 0
+        # Stream 1's sync must not require stream 0's ring to be drained:
+        # each stream has its own Rid/Sid.
+        b = channel.call("cudaMalloc", (64,), stream=1)
+        assert channel.stream(0).ring.stream_check()
+        assert channel.stream(1).ring.stream_check()
+        channel.close()
+
+    def test_streams_have_own_smem(self, cronus):
+        app, parent, child = _cuda_pair(cronus)
+        channel = app.open_child_channel(child)
+        channel.call("cudaMalloc", (4,), stream=1)
+        pages0 = set(channel.stream(0).smem_pages())
+        pages1 = set(channel.stream(1).smem_pages())
+        assert pages0.isdisjoint(pages1)
+        channel.close()
+
+    def test_synchronize_all_streams(self, cronus):
+        app, parent, child = _cuda_pair(cronus)
+        channel = app.open_child_channel(child)
+        a = channel.call("cudaMalloc", (4,), stream=0)
+        b = channel.call("cudaMalloc", (4,), stream=1)
+        channel.synchronize()  # joins every stream, must not raise
+        channel.close()
+
+    def test_failure_tears_down_all_streams(self, cronus):
+        from repro.rpc.channel import SRPCPeerFailure
+
+        app, parent, child = _cuda_pair(cronus)
+        channel = app.open_child_channel(child)
+        channel.call("cudaMalloc", (4,), stream=0)
+        channel.call("cudaMalloc", (4,), stream=1)
+        cronus.fail_partition("gpu0")
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (4,), stream=0)
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (4,), stream=1)
+
+
+class TestTrustedPipe:
+    def _pipe(self, cronus):
+        app = cronus.application("pipes")
+        image = _cpu_image()
+        writer = app.create_enclave(_cpu_manifest(image), image, "ext.so")
+        cuda_image = CudaImage(name="pipe", kernels=("vecadd",))
+        gpu_manifest = Manifest(
+            device_type="gpu", images={"pipe.cubin": cuda_image.digest()},
+            mecalls=CUDA_MECALLS,
+        )
+        reader = app.create_enclave(gpu_manifest, cuda_image, "pipe.cubin")
+        return TrustedPipe(writer.endpoint(), reader.endpoint(), cronus.spm)
+
+    def test_write_read_roundtrip(self, cronus):
+        pipe = self._pipe(cronus)
+        pipe.write(b"hello through trusted memory")
+        assert pipe.read() == b"hello through trusted memory"
+        pipe.close()
+
+    def test_partial_reads(self, cronus):
+        pipe = self._pipe(cronus)
+        pipe.write(b"abcdef")
+        assert pipe.read(2) == b"ab"
+        assert pipe.read(2) == b"cd"
+        assert pipe.read() == b"ef"
+        assert pipe.read() == b""
+        pipe.close()
+
+    def test_wraparound(self, cronus):
+        pipe = self._pipe(cronus)
+        chunk = bytes(range(256)) * 40  # 10 KiB chunks through 16 KiB pipe
+        for _ in range(5):
+            pipe.write(chunk)
+            assert pipe.read() == chunk
+        pipe.close()
+
+    def test_overflow_rejected(self, cronus):
+        pipe = self._pipe(cronus)
+        with pytest.raises(PipeError, match="full"):
+            pipe.write(b"x" * (pipe.capacity + 10))
+        pipe.close()
+
+    def test_invisible_to_normal_world(self, cronus):
+        pipe = self._pipe(cronus)
+        pipe.write(b"SECRET")
+        with pytest.raises(AccessFault):
+            cronus.platform.memory.read(pipe._base, 64, world="normal")
+        pipe.close()
+
+    def test_peer_failure_runs_developer_handler(self, cronus):
+        """Section IV-D: developers write trap handlers for failures."""
+        pipe = self._pipe(cronus)
+        pipe.write(b"before crash")
+        seen = []
+        pipe.on_peer_failure(lambda peer: seen.append(peer))
+        cronus.fail_partition("gpu0")
+        with pytest.raises(PipeBrokenError):
+            pipe.write(b"after crash")
+        assert seen == ["part-gpu0"]
+        # The pipe stays broken; no data ever reaches a substituted peer.
+        with pytest.raises(PipeBrokenError):
+            pipe.read()
+
+
+class TestRiscvPmpBackend:
+    def test_pmp_unit_priority(self):
+        pmp = PmpUnit()
+        pmp.set_entry(0, PmpEntry(0x1000, 0x1000, PmpPermission.RW))
+        pmp.set_entry(1, PmpEntry(0x1000, 0x2000, PmpPermission.NONE))
+        # Entry 0 (allowing) matches first, so access passes.
+        pmp.check_normal_access(0x1800, 8, write=True)
+        # Outside entry 0 but inside entry 1: denied.
+        with pytest.raises(AccessFault):
+            pmp.check_normal_access(0x2800, 8, write=False)
+
+    def test_locked_entry_immutable(self):
+        pmp = PmpUnit()
+        pmp.set_entry(0, PmpEntry(0x1000, 0x1000, PmpPermission.NONE))
+        pmp.lock_entry(0)
+        with pytest.raises(AccessFault, match="locked"):
+            pmp.set_entry(0, PmpEntry(0x1000, 0x1000, PmpPermission.RWX))
+
+    def test_unmatched_access_allowed(self):
+        PmpUnit().check_normal_access(0x9999, 8, write=True)  # must not raise
+
+    def test_cronus_boots_on_pmp(self):
+        system = CronusSystem(TestbedConfig(isolation="riscv-pmp"))
+        assert system.platform.config.isolation == "riscv-pmp"
+        assert {m.device_type for m in system.moses.values()} == {"cpu", "gpu", "npu"}
+
+    def test_pmp_secure_memory_filtered(self):
+        system = CronusSystem(TestbedConfig(isolation="riscv-pmp"))
+        with pytest.raises(AccessFault, match="PMP"):
+            system.platform.memory.read(system.platform.secure_base, 16, world="normal")
+
+    def test_pmp_secure_io(self):
+        system = CronusSystem(TestbedConfig(isolation="riscv-pmp"))
+        with pytest.raises(AccessFault):
+            system.platform.device_guard.check("gpu0", "normal")
+
+    def test_workload_parity_across_backends(self):
+        """The same workload produces identical results and near-identical
+        timing on TrustZone and PMP (the backend is below the cost model)."""
+        from repro.workloads.rodinia import RODINIA, all_kernels
+
+        results = {}
+        for isolation in ("trustzone", "riscv-pmp"):
+            system = CronusSystem(TestbedConfig(isolation=isolation))
+            rt = system.runtime(cuda_kernels=all_kernels(), owner="parity")
+            start = system.clock.now
+            out = RODINIA["gemm"].run(rt)
+            results[isolation] = (out, system.clock.now - start)
+            system.release(rt)
+        assert np.array_equal(results["trustzone"][0], results["riscv-pmp"][0])
+        assert results["trustzone"][1] == pytest.approx(results["riscv-pmp"][1], rel=0.01)
+
+    def test_full_attack_battery_on_pmp_backend(self):
+        """Every scenario must be blocked on the RISC-V port too."""
+        from repro.attacks import run_all_attacks
+
+        for outcome in run_all_attacks(isolation="riscv-pmp"):
+            assert outcome.blocked, f"{outcome.name} on riscv-pmp: {outcome.detail}"
+
+    def test_unknown_backend_rejected(self):
+        from repro.hw.platform import Platform, PlatformConfig
+
+        with pytest.raises(ValueError, match="isolation backend"):
+            Platform(PlatformConfig(isolation="sgx"))
+
+
+class TestRpcModeAblation:
+    @pytest.mark.parametrize("mode", ["srpc", "sync", "encrypted"], ids=str)
+    def test_all_modes_compute_correctly(self, mode):
+        from repro.workloads.rodinia import RODINIA, all_kernels
+
+        system = CronusSystem(rpc_mode=mode)
+        rt = system.runtime(cuda_kernels=all_kernels(), owner="mode")
+        RODINIA["gemm"].run(rt)  # verification inside
+        system.release(rt)
+
+    def test_mode_cost_ordering(self):
+        from repro.workloads.rodinia import RODINIA, all_kernels
+
+        times = {}
+        for mode in ("srpc", "sync", "encrypted"):
+            system = CronusSystem(rpc_mode=mode)
+            rt = system.runtime(cuda_kernels=all_kernels(), owner="mode")
+            start = system.clock.now
+            RODINIA["pathfinder"].run(rt)
+            times[mode] = system.clock.now - start
+            system.release(rt)
+        assert times["srpc"] < times["sync"] < times["encrypted"]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(WorkflowError, match="rpc mode"):
+            CronusSystem(rpc_mode="telepathy").runtime(cuda_kernels=("vecadd",))

@@ -1,0 +1,169 @@
+"""Watchdog hang detection, checkpoints (+ rollback attack), GPU P2P
+buffer sharing."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CheckpointError,
+    CheckpointManager,
+    CheckpointStore,
+    RollbackError,
+    Watchdog,
+)
+from repro.secure.partition import PartitionState
+from repro.systems import CronusSystem, TestbedConfig
+
+
+class TestWatchdog:
+    def test_first_observation_is_baseline(self, cronus):
+        watchdog = Watchdog(cronus)
+        assert watchdog.observe() == []
+
+    def test_hung_partition_recovered(self, cronus):
+        watchdog = Watchdog(cronus)
+        watchdog.observe()  # baseline
+        # CPU and NPU mOSes keep ticking; the GPU mOS hangs.
+        cronus.moses["cpu0"].tick()
+        cronus.moses["npu0"].tick()
+        reports = watchdog.observe()
+        assert [r.partition for r in reports] == ["part-gpu0"]
+        assert cronus.moses["gpu0"].partition.restarts == 1
+        assert cronus.moses["gpu0"].partition.state is PartitionState.READY
+
+    def test_live_partitions_untouched(self, cronus):
+        watchdog = Watchdog(cronus)
+        watchdog.observe()
+        for mos in cronus.moses.values():
+            mos.tick()
+        assert watchdog.observe() == []
+        assert all(m.partition.restarts == 0 for m in cronus.moses.values())
+
+    def test_watchdog_advances_time(self, cronus):
+        watchdog = Watchdog(cronus, interval_us=10_000.0)
+        before = cronus.clock.now
+        watchdog.observe()
+        assert cronus.clock.now == before + 10_000.0
+
+    def test_recovered_partition_not_reflagged(self, cronus):
+        watchdog = Watchdog(cronus)
+        watchdog.observe()
+        cronus.moses["cpu0"].tick()
+        cronus.moses["npu0"].tick()
+        watchdog.observe()  # recovers gpu0
+        # Next period: the recovered gpu0 mOS ticks again.
+        for mos in cronus.moses.values():
+            mos.tick()
+        assert watchdog.observe() == []
+
+
+class TestCheckpoints:
+    def _manager(self, cronus):
+        store = CheckpointStore()
+        return CheckpointManager(b"owner-secret-32b-owner-secret-32", store, cronus.platform), store
+
+    def test_save_load_roundtrip(self, cronus):
+        manager, _ = self._manager(cronus)
+        payload = {"w": np.arange(16, dtype=np.float32)}
+        version = manager.save("model", payload)
+        assert version == 1
+        restored = manager.load("model")
+        assert np.array_equal(restored["w"], payload["w"])
+
+    def test_versions_increment(self, cronus):
+        manager, _ = self._manager(cronus)
+        manager.save("model", {"w": np.zeros(4)})
+        assert manager.save("model", {"w": np.ones(4)}) == 2
+        assert manager.load("model")["w"][0] == 1.0
+
+    def test_rollback_attack_detected(self, cronus):
+        """The untrusted store replays version 1 after version 2 exists."""
+        manager, store = self._manager(cronus)
+        manager.save("model", {"w": np.zeros(4)})
+        manager.save("model", {"w": np.ones(4)})
+        store.rollback_to("model", 1)
+        with pytest.raises(RollbackError):
+            manager.load("model")
+
+    def test_tampered_blob_rejected(self, cronus):
+        manager, store = self._manager(cronus)
+        manager.save("model", {"w": np.zeros(4)})
+        blob = store.get_latest("model")
+        blob.sealed = blob.sealed[:-1] + bytes([blob.sealed[-1] ^ 0xFF])
+        with pytest.raises(CheckpointError, match="unseal"):
+            manager.load("model")
+
+    def test_missing_checkpoint(self, cronus):
+        manager, _ = self._manager(cronus)
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            manager.load("ghost")
+
+    def test_checkpoint_charges_time(self, cronus):
+        manager, _ = self._manager(cronus)
+        before = cronus.clock.now
+        manager.save("model", {"w": np.zeros(1 << 16, np.float32)})
+        assert cronus.clock.now > before  # sealing 256 KiB is not free
+
+    def test_gpu_checkpoint_survives_partition_crash(self, cronus):
+        """The figure-9 resubmission story completed: training state is
+        checkpointed, the partition crashes, and the state is restored
+        into a fresh enclave on the recovered partition."""
+        manager, _ = self._manager(cronus)
+        rt = system_rt = cronus.runtime(cuda_kernels=("vecadd",), owner="ckpt")
+        weights = np.random.default_rng(3).standard_normal(64).astype(np.float32)
+        handle = rt.cudaMalloc((64,))
+        rt.cudaMemcpyH2D(handle, weights)
+        manager.checkpoint_gpu(rt, "training", {"weights": handle})
+
+        cronus.fail_partition("gpu0")
+
+        rt2 = cronus.runtime(cuda_kernels=("vecadd",), owner="ckpt2")
+        restored = manager.restore_gpu(rt2, "training")
+        assert np.array_equal(rt2.cudaMemcpyD2H(restored["weights"]), weights)
+        cronus.release(rt2)
+
+
+class TestGpuP2PSharing:
+    def test_share_buffer_across_gpus(self, cronus2gpu):
+        system = cronus2gpu
+        hal0 = system.moses["gpu0"].hal
+        hal1 = system.moses["gpu1"].hal
+        ctx0 = hal0.create_gpu_context("tenant-a")
+        ctx1 = hal1.create_gpu_context("tenant-a")
+        src = ctx0.alloc((32,))
+        ctx0.memcpy_h2d(src, np.arange(32, dtype=np.float32))
+        alias = hal0.share_gpu_buffer(
+            ctx0, src, hal1, ctx1, spm=system.spm, bus=system.platform.secure_bus
+        )
+        assert np.array_equal(ctx1.buffer(alias), np.arange(32, dtype=np.float32))
+        # It is an alias, not a copy: writes are visible on both sides.
+        ctx1.buffer(alias)[0] = 99.0
+        assert ctx0.buffer(src)[0] == 99.0
+
+    def test_share_charges_p2p_time(self, cronus2gpu):
+        system = cronus2gpu
+        hal0 = system.moses["gpu0"].hal
+        hal1 = system.moses["gpu1"].hal
+        ctx0 = hal0.create_gpu_context("a")
+        ctx1 = hal1.create_gpu_context("a")
+        src = ctx0.alloc((1 << 18,))  # 1 MiB
+        before = system.clock.now
+        hal0.share_gpu_buffer(
+            ctx0, src, hal1, ctx1, spm=system.spm, bus=system.platform.secure_bus
+        )
+        assert system.clock.now > before
+
+    def test_share_refused_when_partition_failed(self, cronus2gpu):
+        from repro.mos.hal import HalError
+
+        system = cronus2gpu
+        hal0 = system.moses["gpu0"].hal
+        hal1 = system.moses["gpu1"].hal
+        ctx0 = hal0.create_gpu_context("a")
+        ctx1 = hal1.create_gpu_context("a")
+        src = ctx0.alloc((8,))
+        system.moses["gpu1"].partition.mark_failed()  # r_f = 1
+        with pytest.raises(HalError, match="r_f"):
+            hal0.share_gpu_buffer(
+                ctx0, src, hal1, ctx1, spm=system.spm, bus=system.platform.secure_bus
+            )

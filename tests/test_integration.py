@@ -1,0 +1,187 @@
+"""End-to-end integration: the paper's application workflow, the
+auto-partitioner, spatial sharing gains, multi-GPU P2P, failover timeline."""
+
+import numpy as np
+import pytest
+
+from repro.dispatch.partitioner import AutoPartitioner
+from repro.enclave.images import CpuImage, CudaImage
+from repro.faults import run_failover_experiment
+from repro.systems import CronusSystem, MonolithicTrustZone, NativeLinux, TestbedConfig
+from repro.workloads.datasets import synthetic_mnist
+from repro.workloads.dnn import TRAINING_KERNELS, lenet, train
+
+
+class TestApplicationWorkflow:
+    """Section III-D: the complete lifecycle of an application."""
+
+    def test_full_lifecycle(self, cronus):
+        # 1. The user submits the app with a manifest; the app creates a
+        #    CPU mEnclave.
+        app = cronus.application("app-1")
+        cpu_image = CpuImage(
+            name="app1",
+            functions={
+                "ingest": lambda state, blob: state.__setitem__("data", blob),
+                "result": lambda state: state.get("result"),
+                "finish": lambda state, value: state.__setitem__("result", value),
+            },
+        )
+        from repro.enclave.manifest import Manifest, MECallSpec
+
+        cpu_manifest = Manifest(
+            device_type="cpu",
+            images={"app1.so": cpu_image.digest()},
+            mecalls=(MECallSpec("ingest"), MECallSpec("result"), MECallSpec("finish")),
+        )
+        enclave_a = app.create_enclave(cpu_manifest, cpu_image, "app1.so")
+
+        # 2. Remote attestation before any data is sent.
+        report = cronus.attest_platform()
+        assert f"{enclave_a.eid:#010x}" in report.menclave_hashes
+
+        # 3. Encrypted user data flows in; the enclave decrypts inside.
+        enclave_a.send_sealed("ingest", b"sensitive payload")
+
+        # 4. The app creates a CUDA mEnclave and streams RPCs to it.
+        cuda_image = CudaImage(name="app1cuda", kernels=("matmul",))
+        from repro.enclave.models import CUDA_MECALLS
+
+        gpu_manifest = Manifest(
+            device_type="gpu",
+            images={"app1cuda.cubin": cuda_image.digest()},
+            mecalls=CUDA_MECALLS,
+        )
+        enclave_c = app.create_enclave(gpu_manifest, cuda_image, "app1cuda.cubin")
+        channel = app.open_channel(enclave_a, enclave_c)
+        a = channel.call("cudaMalloc", (16, 16))
+        c = channel.call("cudaMalloc", (16, 16))
+        data = np.eye(16, dtype=np.float32) * 2.0
+        channel.call("cudaMemcpyH2D", a, data)
+        channel.call("cudaLaunchKernel", "matmul", [a, a, c])
+        out = channel.call("cudaMemcpyD2H", c)
+        assert np.allclose(out, data @ data)
+
+        # 5. Results return to the CPU enclave, sealed back to the user.
+        enclave_a.ecall("finish", float(out.sum()))
+        assert enclave_a.ecall("result") == float(out.sum())
+        channel.close()
+        app.shutdown()
+
+
+class TestAutoPartitioner:
+    def test_monolithic_program_runs_unmodified(self, cronus):
+        """The same program body drives CUDA + CPU work; the partitioner
+        routes device calls over sRPC without code changes."""
+
+        def monolithic_program(rt):
+            a = rt.cudaMalloc((8, 8))
+            b = rt.cudaMalloc((8, 8))
+            c = rt.cudaMalloc((8, 8))
+            rt.cudaMemcpyH2D(a, np.full((8, 8), 2.0, np.float32))
+            rt.cudaMemcpyH2D(b, np.full((8, 8), 3.0, np.float32))
+            rt.cudaLaunchKernel("matmul", [a, b, c])
+            out = rt.cudaMemcpyD2H(c)
+            rt.cpu_compute(1000.0)
+            return out
+
+        app = cronus.application("auto")
+        partitioner = AutoPartitioner(app)
+        cpu_image = CpuImage(name="auto", functions={"noop": lambda s: None})
+        cuda_image = CudaImage(name="autocuda", kernels=("matmul",))
+        runtime = partitioner.partition(cpu_image, cuda_image=cuda_image)
+        out = monolithic_program(runtime)
+        assert np.allclose(out, np.full((8, 8), 48.0))
+        runtime.close()
+
+    def test_program_without_gpu_annotation_rejected_on_cuda_use(self, cronus):
+        app = cronus.application("auto2")
+        runtime = AutoPartitioner(app).partition(
+            CpuImage(name="auto2", functions={"noop": lambda s: None})
+        )
+        with pytest.raises(RuntimeError, match="no CUDA mEnclave"):
+            runtime.cudaMalloc((4,))
+
+    def test_npu_annotation(self, cronus):
+        from repro.enclave.images import NpuImage
+        from repro.workloads.vta_bench import BENCH_PROGRAMS, run_alu
+
+        app = cronus.application("auto3")
+        runtime = AutoPartitioner(app).partition(
+            CpuImage(name="auto3", functions={"noop": lambda s: None}),
+            npu_image=NpuImage(name="bench", programs=dict(BENCH_PROGRAMS)),
+        )
+        run_alu(runtime, size=8, iters=1)
+        runtime.close()
+
+
+class TestSpatialSharingGain:
+    def test_two_tenants_beat_one(self):
+        """Figure 11a: spatial sharing raises aggregate throughput by up to
+        ~63% (the paper's number is 63.4%)."""
+        from repro.workloads.dnn import spatial_sharing_throughput
+
+        solo = spatial_sharing_throughput(CronusSystem(), 1)
+        shared = spatial_sharing_throughput(CronusSystem(), 2)
+        gain = (shared - solo) / solo
+        assert 0.4 < gain < 0.9, f"sharing gain {gain:.1%} out of band"
+
+    def test_four_tenants_show_contention(self):
+        from repro.workloads.dnn import spatial_sharing_throughput
+
+        three = spatial_sharing_throughput(CronusSystem(), 3)
+        four = spatial_sharing_throughput(CronusSystem(), 4)
+        assert four < three  # resource contention at 4 mEnclaves
+
+
+class TestMultiGpu:
+    def test_two_gpus_both_reachable(self, cronus2gpu):
+        rt0 = cronus2gpu.runtime(cuda_kernels=("vecadd",), gpu_name="gpu0", owner="a")
+        rt1 = cronus2gpu.runtime(cuda_kernels=("vecadd",), gpu_name="gpu1", owner="b")
+        for rt in (rt0, rt1):
+            a = rt.cudaMalloc((4,))
+            b = rt.cudaMalloc((4,))
+            c = rt.cudaMalloc((4,))
+            rt.cudaMemcpyH2D(a, np.ones(4, np.float32))
+            rt.cudaMemcpyH2D(b, np.ones(4, np.float32))
+            rt.cudaLaunchKernel("vecadd", [a, b, c])
+            assert np.all(rt.cudaMemcpyD2H(c) == 2.0)
+        cronus2gpu.release(rt0)
+        cronus2gpu.release(rt1)
+
+    def test_p2p_cheaper_than_staged_and_encrypted(self, cronus2gpu):
+        """Figure 11b's premise: PCIe P2P < secure-memory staging <
+        encrypted staging, for the same gradient volume."""
+        costs = cronus2gpu.platform.costs
+        nbytes = 1 << 20
+        p2p = costs.copy_cost_us(nbytes, per_kib=costs.pcie_p2p_us_per_kib)
+        staged = 2 * costs.copy_cost_us(nbytes, per_kib=costs.pcie_dma_us_per_kib)
+        encrypted = staged + 2 * costs.copy_cost_us(
+            nbytes, per_kib=costs.encryption_us_per_kib
+        )
+        assert p2p < staged < encrypted
+
+
+class TestFailoverExperiment:
+    def test_timeline_shape(self):
+        result = run_failover_experiment(
+            duration_us=2_000_000.0, crash_at_us=700_000.0, bucket_us=100_000.0
+        )
+        # Recovery in hundreds of milliseconds, far below a reboot.
+        assert 50_000 < result.recovery_us < 1_000_000
+        a = result.throughput["task-a"]
+        b = result.throughput["task-b"]
+        crash_bucket = int(result.crash_at_us / result.bucket_us)
+        # The failed task dips to zero right after the crash...
+        assert min(a[crash_bucket : crash_bucket + 2]) == 0
+        # ...and comes back before the end.
+        assert sum(a[-5:]) > 0
+        # The healthy task keeps making progress through the outage window.
+        outage = b[crash_bucket : crash_bucket + 3]
+        assert all(x > 0 for x in outage)
+
+    def test_recovery_orders_of_magnitude_faster_than_reboot(self):
+        result = run_failover_experiment(duration_us=1_500_000.0, crash_at_us=500_000.0)
+        from repro.sim.costs import CostModel
+
+        assert result.recovery_us * 100 < CostModel().machine_reboot_us

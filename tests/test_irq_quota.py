@@ -1,0 +1,112 @@
+"""Device interrupts (HAL duty, section IV-B) and manifest memory quotas."""
+
+import numpy as np
+import pytest
+
+from repro.accel.gpu import GpuError
+from repro.enclave.images import CudaImage
+from repro.enclave.manifest import Manifest
+from repro.enclave.models import CUDA_MECALLS
+from repro.hw.irq import InterruptController, IrqError
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.smmu import SMMUFault
+
+
+class TestInterruptController:
+    def test_register_and_deliver(self):
+        gic = InterruptController()
+        seen = []
+        gic.register(41, seen.append)
+        assert gic.raise_irq(41, "gpu0", "dma-fault")
+        assert seen[0].device == "gpu0"
+        assert seen[0].reason == "dma-fault"
+
+    def test_unhandled_goes_pending(self):
+        gic = InterruptController()
+        assert not gic.raise_irq(41, "gpu0", "dma-fault")
+        assert len(gic.pending()) == 1
+
+    def test_pending_replayed_on_registration(self):
+        gic = InterruptController()
+        gic.raise_irq(41, "gpu0", "dma-fault")
+        seen = []
+        gic.register(41, seen.append)
+        assert len(seen) == 1
+        assert gic.pending() == []
+
+    def test_double_claim_rejected(self):
+        gic = InterruptController()
+        gic.register(41, lambda i: None)
+        with pytest.raises(IrqError, match="already claimed"):
+            gic.register(41, lambda i: None)
+
+    def test_unregister_frees_line(self):
+        gic = InterruptController()
+        gic.register(41, lambda i: None)
+        gic.unregister(41)
+        gic.register(41, lambda i: None)  # must not raise
+
+
+class TestDmaFaultInterrupt:
+    def test_dma_fault_reaches_owning_hal(self, cronus):
+        """A DMA through an unmapped SMMU translation faults AND delivers
+        an interrupt to the GPU mOS's HAL (paper section IV-B)."""
+        hal = cronus.moses["gpu0"].hal
+        assert hal.interrupts_handled == []
+        with pytest.raises(SMMUFault):
+            cronus.platform.secure_bus.dma_read("gpu0", 0x7777 * PAGE_SIZE, 16)
+        assert len(hal.interrupts_handled) == 1
+        assert hal.interrupts_handled[0].reason == "dma-fault"
+        assert hal.interrupts_handled[0].device == "gpu0"
+
+    def test_fault_routed_to_correct_partition(self, cronus):
+        """The NPU's fault must not land in the GPU mOS (unique IRQs)."""
+        gpu_hal = cronus.moses["gpu0"].hal
+        npu_hal = cronus.moses["npu0"].hal
+        with pytest.raises(SMMUFault):
+            cronus.platform.secure_bus.dma_read("npu0", 0x7777 * PAGE_SIZE, 16)
+        assert gpu_hal.interrupts_handled == []
+        assert len(npu_hal.interrupts_handled) == 1
+
+    def test_successful_dma_raises_no_interrupt(self, cronus):
+        mos = cronus.moses["gpu0"]
+        pages = mos.shim.alloc_pages(1)
+        cronus.platform.smmu.map("gpu0", 0x40, pages[0])
+        cronus.platform.secure_bus.dma_write("gpu0", 0x40 * PAGE_SIZE, b"ok")
+        assert mos.hal.interrupts_handled == []
+
+
+class TestMemoryQuota:
+    def test_quota_enforced_on_cuda_enclave(self, cronus):
+        """The manifest's resource capacity caps device allocations."""
+        app = cronus.application("quota")
+        image = CudaImage(name="q", kernels=("vecadd",))
+        manifest = Manifest(
+            device_type="gpu",
+            images={"q.cubin": image.digest()},
+            mecalls=CUDA_MECALLS,
+            memory_bytes=64 * 1024,  # 64 KiB quota
+        )
+        handle = app.create_enclave(manifest, image, "q.cubin")
+        handle.ecall("cudaMalloc", (4096,))  # 16 KiB, fits
+        with pytest.raises(GpuError, match="manifest quota"):
+            handle.ecall("cudaMalloc", (64 * 1024,))  # 256 KiB, over
+
+    def test_quota_released_on_free(self, cronus):
+        app = cronus.application("quota2")
+        image = CudaImage(name="q2", kernels=("vecadd",))
+        manifest = Manifest(
+            device_type="gpu",
+            images={"q2.cubin": image.digest()},
+            mecalls=CUDA_MECALLS,
+            memory_bytes=64 * 1024,
+        )
+        handle = app.create_enclave(manifest, image, "q2.cubin")
+        buffer_handle = handle.ecall("cudaMalloc", (12 * 1024,))  # 48 KiB
+        handle.ecall("cudaFree", buffer_handle)
+        handle.ecall("cudaMalloc", (12 * 1024,))  # fits again
+
+    def test_unquota_context_unlimited_up_to_device(self, cronus):
+        hal = cronus.moses["gpu0"].hal
+        ctx = hal.create_gpu_context("free")
+        ctx.alloc((1 << 20,))  # 4 MiB, no quota: only the device cap holds

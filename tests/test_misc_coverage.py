@@ -1,0 +1,125 @@
+"""Remaining coverage: partitioner CPU calls, vta sync, flop-charged CPU
+image functions, handle sealing helpers, report formatting corners."""
+
+import numpy as np
+import pytest
+
+from repro.enclave.images import CpuImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.dispatch.partitioner import AutoPartitioner
+from repro.systems import CronusSystem, NativeLinux
+
+
+class TestPartitionedRuntimeCpuPath:
+    def test_cpu_call_executes_in_cpu_enclave(self, cronus):
+        app = cronus.application("cpu-path")
+        image = CpuImage(
+            name="calc",
+            functions={
+                "store": lambda state, x: state.__setitem__("x", x),
+                "double": lambda state: state.get("x", 0) * 2,
+            },
+            flops={"double": 1000.0},
+        )
+        runtime = AutoPartitioner(app).partition(image)
+        runtime.cpu_call("store", 21)
+        before = cronus.clock.now
+        assert runtime.cpu_call("double") == 42
+        # The declared flops were charged via the CPU device.
+        assert cronus.clock.now > before
+        runtime.close()
+
+    def test_cpu_handle_property(self, cronus):
+        app = cronus.application("cpu-path2")
+        image = CpuImage(name="c", functions={"f": lambda s: "ok"})
+        runtime = AutoPartitioner(app).partition(image)
+        assert runtime.cpu_handle.enclave.manifest.device_type == "cpu"
+        runtime.close()
+
+
+class TestVtaSynchronize:
+    def test_vta_synchronize_joins_queue(self, cronus):
+        from repro.workloads.vta_bench import BENCH_PROGRAMS
+
+        rt = cronus.runtime(npu_programs=dict(BENCH_PROGRAMS), owner="sync-test")
+        rt.vtaWriteTensor("inp", np.ones((8, 8), np.int8))
+        rt.vtaWriteTensor("wgt", np.ones((8, 8), np.int8))
+        rt.vtaRun("gemm")
+        npu = cronus.platform.device("npu0")
+        queue_end = npu.queue.available_at
+        rt.vtaSynchronize()
+        assert cronus.clock.now >= queue_end
+        cronus.release(rt)
+
+    def test_native_vta_synchronize(self):
+        from repro.workloads.vta_bench import BENCH_PROGRAMS
+
+        system = NativeLinux()
+        rt = system.runtime(npu_programs=dict(BENCH_PROGRAMS))
+        rt.vtaWriteTensor("acc_in", np.ones((4, 4), np.int32))
+        rt.vtaRun("alu")
+        rt.vtaSynchronize()
+        rt.close()
+
+    def test_unknown_npu_program_rejected_native(self):
+        from repro.systems import SystemError as SysErr
+
+        system = NativeLinux()
+        rt = system.runtime(npu_programs={})
+        with pytest.raises(SysErr, match="no NPU program"):
+            rt.vtaRun("ghost")
+        rt.close()
+
+
+class TestHandleHelpers:
+    def test_unseal_roundtrip(self, cronus):
+        app = cronus.application("helpers")
+        image = CpuImage(name="h", functions={"echo": lambda s, b: b})
+        manifest = Manifest(
+            device_type="cpu", images={"h.so": image.digest()},
+            mecalls=(MECallSpec("echo"),),
+        )
+        handle = app.create_enclave(manifest, image, "h.so")
+        from repro.crypto.seal import seal
+
+        blob = seal(handle.secret, b"round trip")
+        assert handle.unseal(blob) == b"round trip"
+
+    def test_ecall_counter_monotone(self, cronus):
+        app = cronus.application("helpers2")
+        image = CpuImage(name="h2", functions={"f": lambda s: None})
+        manifest = Manifest(
+            device_type="cpu", images={"h2.so": image.digest()},
+            mecalls=(MECallSpec("f"),),
+        )
+        handle = app.create_enclave(manifest, image, "h2.so")
+        for _ in range(5):
+            handle.ecall("f")
+        assert handle._counter == 5
+
+
+class TestReportCorners:
+    def test_format_table_single_column(self):
+        from repro.metrics import format_table
+
+        text = format_table(["only"], [["a"], ["bb"]])
+        assert "only" in text and "bb" in text
+
+    def test_pipe_free_bytes_accounting(self, cronus):
+        from repro.rpc.pipe import TrustedPipe
+
+        app = cronus.application("pipe-acct")
+        image = CpuImage(name="p", functions={"f": lambda s: None})
+        manifest = Manifest(
+            device_type="cpu", images={"p.so": image.digest()},
+            mecalls=(MECallSpec("f"),),
+        )
+        a = app.create_enclave(manifest, image, "p.so")
+        b = app.create_enclave(manifest, image, "p.so")
+        pipe = TrustedPipe(a.endpoint(), b.endpoint(), cronus.spm, pages=1)
+        free0 = pipe.free_bytes()
+        pipe.write(b"x" * 100)
+        assert pipe.free_bytes() == free0 - 100
+        pipe.read()
+        assert pipe.free_bytes() == free0
+        pipe.close()

@@ -1,0 +1,93 @@
+"""mOS updates (proactive restart) and watchdog-detected failover."""
+
+import pytest
+
+from repro.faults import run_failover_experiment
+from repro.secure.monitor import AttestationError
+from repro.secure.partition import PartitionState
+from repro.dispatch.client import RemoteClient
+from repro.systems import CronusSystem
+
+
+def _device_certs(system):
+    return {
+        d.name: d.vendor_cert
+        for d in system.platform.devices()
+        if d.vendor_cert is not None and d.device_type != "cpu"
+    }
+
+
+class TestMosUpdate:
+    def test_update_restarts_partition_and_remeasures(self, cronus):
+        old_hash = cronus.monitor.mos_measurements()["mos-gpu0"]
+        report = cronus.update_mos("gpu0", b"nouveau+gdev mOS image v2 [patched]")
+        assert report.partition == "part-gpu0"
+        assert cronus.moses["gpu0"].partition.restarts == 1
+        assert cronus.moses["gpu0"].partition.state is PartitionState.READY
+        new_hash = cronus.monitor.mos_measurements()["mos-gpu0"]
+        assert new_hash != old_hash
+
+    def test_running_enclaves_torn_down_by_update(self, cronus):
+        from repro.rpc.channel import SRPCPeerFailure
+
+        rt = cronus.runtime(cuda_kernels=("vecadd",), owner="updated-away")
+        rt.cudaMalloc((8,))
+        cronus.update_mos("gpu0", b"new image")
+        with pytest.raises(SRPCPeerFailure):
+            rt.cudaMalloc((8,))
+
+    def test_pinned_client_rejects_updated_mos(self, cronus):
+        """Section III-B: a service trusts only its audited mOS version."""
+        pinned = cronus.monitor.mos_measurements()["mos-gpu0"]
+        client = RemoteClient.for_system(
+            cronus, expected_mos_hashes={"mos-gpu0": pinned}
+        )
+        client.verify(cronus.attest_platform(), _device_certs(cronus))
+        cronus.update_mos("gpu0", b"unaudited new driver version")
+        fresh_client = RemoteClient.for_system(
+            cronus, expected_mos_hashes={"mos-gpu0": pinned}
+        )
+        with pytest.raises(AttestationError, match="audited version"):
+            fresh_client.verify(cronus.attest_platform(), _device_certs(cronus))
+
+    def test_client_accepting_new_version_passes(self, cronus):
+        cronus.update_mos("gpu0", b"new audited version")
+        new_hash = cronus.monitor.mos_measurements()["mos-gpu0"]
+        client = RemoteClient.for_system(
+            cronus, expected_mos_hashes={"mos-gpu0": new_hash}
+        )
+        client.verify(cronus.attest_platform(), _device_certs(cronus))
+
+    def test_unknown_device_rejected(self, cronus):
+        from repro.systems import SystemError
+
+        with pytest.raises(SystemError):
+            cronus.update_mos("ghost0", b"x")
+
+
+class TestWatchdogFailover:
+    def test_watchdog_detection_adds_latency(self):
+        panic = run_failover_experiment(
+            duration_us=2_000_000.0, crash_at_us=600_000.0, detection="panic"
+        )
+        watchdog = run_failover_experiment(
+            duration_us=2_000_000.0, crash_at_us=600_000.0, detection="watchdog"
+        )
+        assert panic.detection_us == 0.0
+        assert watchdog.detection_us > 0.0
+        # Recovery work itself is the same; only detection differs.
+        assert watchdog.recovery_us == pytest.approx(panic.recovery_us, rel=0.05)
+
+    def test_watchdog_variant_still_recovers(self):
+        result = run_failover_experiment(
+            duration_us=2_000_000.0, crash_at_us=600_000.0, detection="watchdog"
+        )
+        a = result.throughput["task-a"]
+        assert sum(a[-4:]) > 0  # came back before the end
+        b = result.throughput["task-b"]
+        crash_bucket = int(result.crash_at_us / result.bucket_us)
+        assert all(x > 0 for x in b[crash_bucket : crash_bucket + 3])
+
+    def test_unknown_detection_rejected(self):
+        with pytest.raises(ValueError, match="detection"):
+            run_failover_experiment(detection="clairvoyance")

@@ -1,0 +1,297 @@
+"""sRPC: ring buffer, channel setup/fast-path/failover, baseline protocols."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.enclave.images import CpuImage, CudaImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.enclave.models import CUDA_MECALLS
+from repro.rpc import (
+    ChannelError,
+    EncryptedRpcChannel,
+    RingBufferError,
+    RpcIntegrityError,
+    SharedRingBuffer,
+    SRPCPeerFailure,
+    SyncRpcChannel,
+    UntrustedTransport,
+)
+from repro.rpc.channel import EnclaveEndpoint
+from repro.systems import CronusSystem
+
+
+def _cpu_pair(cronus):
+    """A CPU caller enclave + GPU callee enclave (distinct partitions)."""
+    app = cronus.application("rpc-test")
+    cpu_image = CpuImage(name="drv", functions={"noop": lambda state: None})
+    cpu_manifest = Manifest(
+        device_type="cpu", images={"drv.so": cpu_image.digest()},
+        mecalls=(MECallSpec("noop"),),
+    )
+    caller = app.create_enclave(cpu_manifest, cpu_image, "drv.so")
+    cuda_image = CudaImage(name="mat", kernels=("vecadd", "matmul"))
+    gpu_manifest = Manifest(
+        device_type="gpu", images={"mat.cubin": cuda_image.digest()},
+        mecalls=CUDA_MECALLS,
+    )
+    callee = app.create_enclave(gpu_manifest, cuda_image, "mat.cubin")
+    return app, caller, callee
+
+
+class TestSharedRingBuffer:
+    def _ring(self, cronus, pages=2):
+        cpu = cronus.moses["cpu0"]
+        gpu = cronus.moses["gpu0"]
+        page_ids = cpu.shim.alloc_pages(pages)
+        cronus.spm.share_pages(cpu.partition, gpu.partition, page_ids)
+        return SharedRingBuffer(cpu.partition, gpu.partition, page_ids)
+
+    def test_push_pop_roundtrip(self, cronus):
+        ring = self._ring(cronus)
+        ring.push(b"record-1")
+        ring.push(b"record-2")
+        assert ring.pop() == b"record-1"
+        assert ring.pop() == b"record-2"
+        assert ring.pop() is None
+
+    def test_rid_sid_accounting(self, cronus):
+        ring = self._ring(cronus)
+        assert ring.rid == 0 and ring.sid == 0
+        ring.push(b"a")
+        assert ring.rid == 1
+        assert not ring.stream_check()
+        ring.pop()
+        ring.bump_sid()
+        assert ring.sid == 1
+        assert ring.stream_check()
+
+    def test_overflow_raises(self, cronus):
+        ring = self._ring(cronus, pages=1)
+        with pytest.raises(RingBufferError, match="does not fit"):
+            ring.push(b"x" * 5000)
+
+    def test_wraparound(self, cronus):
+        ring = self._ring(cronus, pages=1)
+        for i in range(20):  # far more bytes than one page in aggregate
+            ring.push(bytes([i]) * 300)
+            assert ring.pop() == bytes([i]) * 300
+
+    def test_noncontiguous_pages_rejected(self, cronus):
+        cpu = cronus.moses["cpu0"]
+        pages = cpu.shim.alloc_pages(3)
+        with pytest.raises(RingBufferError, match="contiguous"):
+            SharedRingBuffer(cpu.partition, cpu.partition, (pages[0], pages[2]))
+
+    @given(st.lists(st.binary(min_size=1, max_size=400), min_size=1, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_fifo_order_preserved(self, records):
+        cronus = CronusSystem()
+        cpu = cronus.moses["cpu0"]
+        gpu = cronus.moses["gpu0"]
+        page_ids = cpu.shim.alloc_pages(2)
+        cronus.spm.share_pages(cpu.partition, gpu.partition, page_ids)
+        ring = SharedRingBuffer(cpu.partition, gpu.partition, page_ids)
+        popped = []
+        for record in records:
+            ring.push(record)
+            popped.append(ring.pop())
+        assert popped == records
+
+
+class TestSRPCChannel:
+    def test_setup_runs_attestation_and_dcheck(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        assert not channel.failed
+        channel.close()
+
+    def test_expected_measurement_enforced(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        with pytest.raises(ChannelError, match="measurement"):
+            app.open_channel(caller, callee, expected_measurement=b"\x00" * 32)
+
+    def test_correct_measurement_accepted(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(
+            caller, callee, expected_measurement=callee.enclave.measurement
+        )
+        channel.close()
+
+    def test_wrong_secret_fails_dcheck(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        from repro.rpc.channel import SRPCChannel
+
+        with pytest.raises(ChannelError, match="dCheck"):
+            SRPCChannel(caller.endpoint(), callee.endpoint(), b"\x00" * 32, cronus.spm)
+
+    def test_async_calls_do_not_wait_for_device(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        a = channel.call("cudaMalloc", (64, 64))
+        b = channel.call("cudaMalloc", (64, 64))
+        c = channel.call("cudaMalloc", (64, 64))
+        channel.call("cudaMemcpyH2D", a, np.ones((64, 64), np.float32))
+        before = cronus.clock.now
+        channel.call("cudaLaunchKernel", "matmul", [a, a, c], sim_scale=50_000.0)
+        streamed = cronus.clock.now - before
+        # The producer paid only the enqueue cost, not the kernel time.
+        assert streamed < 50.0
+        channel.call("cudaDeviceSynchronize")
+        assert cronus.clock.now - before > streamed  # the sync paid it
+        channel.close()
+
+    def test_sync_call_returns_data_and_stream_checks(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        a = channel.call("cudaMalloc", (8,))
+        b = channel.call("cudaMalloc", (8,))
+        c = channel.call("cudaMalloc", (8,))
+        channel.call("cudaMemcpyH2D", a, np.full(8, 4.0, np.float32))
+        channel.call("cudaMemcpyH2D", b, np.full(8, 5.0, np.float32))
+        channel.call("cudaLaunchKernel", "vecadd", [a, b, c])
+        out = channel.call("cudaMemcpyD2H", c)
+        assert np.all(out == 9.0)
+        assert channel._ring.stream_check()
+        channel.close()
+
+    def test_large_record_expands_smem(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee, ring_pages=1)
+        a = channel.call("cudaMalloc", (4096,))
+        big = np.arange(4096, dtype=np.float32)  # 16 KiB > 1 ring page
+        channel.call("cudaMemcpyH2D", a, big)
+        out = channel.call("cudaMemcpyD2H", a)
+        assert np.array_equal(out, big)
+        channel.close()
+
+    def test_stream_reuse_spawns_thread_once(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (4,))
+        after_first = cronus.clock.now
+        costs = cronus.platform.costs
+        channel.call("cudaMalloc", (4,))
+        second_cost = cronus.clock.now - after_first
+        assert second_cost < costs.thread_spawn_us
+        channel.close()
+
+    def test_call_counts(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (4,))
+        channel.call("cudaFree", 1)
+        assert channel.calls_streamed == 2
+        assert channel.sync_points == 1  # malloc is sync, free is async
+        channel.close()
+
+    def test_closed_channel_rejects_calls(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.close()
+        with pytest.raises(ChannelError, match="closed"):
+            channel.call("cudaMalloc", (4,))
+
+
+class TestSRPCFailover:
+    def test_peer_failure_surfaces_and_clears(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (16,))
+        cronus.fail_partition("gpu0")
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (16,))
+        assert channel.failed
+        # Subsequent calls keep failing fast (no data to a substituted peer).
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (16,))
+
+    def test_recovery_allows_fresh_channel(self, cronus):
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (16,))
+        cronus.fail_partition("gpu0")
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (16,))
+        # Resubmission: new enclave + new channel on the recovered partition.
+        _, caller2, callee2 = _cpu_pair(cronus)
+        fresh = cronus.application("rpc-test").open_channel(caller2, callee2)
+        assert fresh.call("cudaMalloc", (16,)) is not None
+        fresh.close()
+
+    def test_caller_partition_failure_traps_consumer_side(self, cronus):
+        """If the *owner* partition fails, the callee's reads trap too."""
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee)
+        channel.call("cudaMalloc", (16,))
+        cronus.fail_partition("cpu0")
+        from repro.secure.partition import PeerFailedSignal
+
+        ring_page = channel._smem_pages()[0]
+        from repro.hw.memory import PAGE_SIZE
+
+        with pytest.raises(PeerFailedSignal):
+            callee.mos.partition.read(ring_page * PAGE_SIZE, 8)
+
+
+class TestBaselineRpc:
+    def _handle(self, cronus):
+        app = cronus.application("base-test")
+        image = CpuImage(
+            name="lib",
+            functions={"echo": lambda state, x: x},
+        )
+        manifest = Manifest(
+            device_type="cpu", images={"lib.so": image.digest()},
+            mecalls=(MECallSpec("echo"),),
+        )
+        return app.create_enclave(manifest, image, "lib.so")
+
+    def test_sync_rpc_works_without_adversary(self, cronus):
+        handle = self._handle(cronus)
+        channel = SyncRpcChannel(
+            EnclaveEndpoint(enclave=None, mos=handle.mos),
+            handle.endpoint(), handle.secret,
+        )
+        assert channel.call("echo", 41) == 41
+        assert channel.calls_made == 1
+
+    def test_encrypted_rpc_works_without_adversary(self, cronus):
+        handle = self._handle(cronus)
+        channel = EncryptedRpcChannel(
+            EnclaveEndpoint(enclave=None, mos=handle.mos),
+            handle.endpoint(), handle.secret,
+        )
+        assert channel.call("echo", "data") == "data"
+
+    def test_encrypted_payload_is_opaque(self, cronus):
+        handle = self._handle(cronus)
+        transport = UntrustedTransport()
+        seen = []
+        transport.adversary = lambda m: (seen.append(m), [m])[1]
+        channel = EncryptedRpcChannel(
+            EnclaveEndpoint(enclave=None, mos=handle.mos),
+            handle.endpoint(), handle.secret, transport,
+        )
+        channel.call("echo", b"SECRET-PAYLOAD-MARKER")
+        assert all(b"SECRET-PAYLOAD-MARKER" not in m for m in seen)
+
+    def test_plaintext_sync_rpc_payload_is_visible(self, cronus):
+        """The contrast: the synchronous baseline leaks content shape."""
+        handle = self._handle(cronus)
+        transport = UntrustedTransport()
+        seen = []
+        transport.adversary = lambda m: (seen.append(m), [m])[1]
+        channel = SyncRpcChannel(
+            EnclaveEndpoint(enclave=None, mos=handle.mos),
+            handle.endpoint(), handle.secret, transport,
+        )
+        channel.call("echo", b"VISIBLE-MARKER")
+        assert any(b"VISIBLE-MARKER" in m for m in seen)
+
+    def test_costs_ordering_srpc_cheapest(self, cronus):
+        """Per-call cost: sRPC < sync RPC < encrypted RPC (section II-C)."""
+        costs = cronus.platform.costs
+        payload = 256
+        assert costs.srpc_enqueue_us(payload) < costs.sync_rpc_overhead_us()
+        assert costs.sync_rpc_overhead_us() < costs.encrypted_rpc_overhead_us(payload)

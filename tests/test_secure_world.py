@@ -1,0 +1,365 @@
+"""Secure Monitor, SPM, partitions: boot, attestation, sharing, recovery."""
+
+import pytest
+
+from repro.crypto.keys import Signature
+from repro.hw.devices import Device, MMIORegion
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.platform import Platform
+from repro.secure.monitor import (
+    AttestationError,
+    AttestationReport,
+    SecureMonitor,
+    verify_attestation_report,
+)
+from repro.secure.partition import PartitionState, PeerFailedSignal
+from repro.secure.spm import SPM, SPMError
+
+
+def _booted(platform: Platform):
+    vendor = platform.register_vendor("nvidia")
+    dev_a = Device("dev-a", mmio=MMIORegion(0x1000, 0x100), irq=4, vendor=vendor,
+                   memory_bytes=1 << 20)
+    dev_b = Device("dev-b", mmio=MMIORegion(0x2000, 0x100), irq=5, vendor=vendor,
+                   memory_bytes=1 << 20)
+    platform.attach_device(dev_a)
+    platform.attach_device(dev_b)
+    monitor = SecureMonitor(platform)
+    monitor.boot(platform.build_device_tree())
+    spm = SPM(platform, monitor)
+    return monitor, spm, dev_a, dev_b
+
+
+class TestSecureMonitorBoot:
+    def test_boot_locks_isolation_hardware(self, platform):
+        monitor, _, _, _ = _booted(platform)
+        assert platform.tzasc.locked
+        assert platform.tzpc.locked
+        assert monitor.booted
+
+    def test_double_boot_rejected(self, platform):
+        monitor, _, _, _ = _booted(platform)
+        with pytest.raises(AttestationError, match="reboot"):
+            monitor.boot(platform.device_tree)
+
+    def test_unbooted_monitor_rejects_everything(self, platform):
+        monitor = SecureMonitor(platform)
+        with pytest.raises(AttestationError):
+            monitor.attest({}, {})
+        with pytest.raises(AttestationError):
+            monitor.measure_mos("m", b"img")
+
+    def test_mos_measurement_recorded(self, platform):
+        monitor, _, _, _ = _booted(platform)
+        digest = monitor.measure_mos("mos-a", b"image bytes")
+        assert monitor.mos_measurements()["mos-a"] == digest
+
+
+class TestRemoteAttestation:
+    def _report(self, platform) -> AttestationReport:
+        monitor, _, dev_a, _ = _booted(platform)
+        monitor.measure_mos("mos-a", b"image")
+        return monitor.attest({"0x01000001": "aa" * 32}, {"dev-a": dev_a.public_key})
+
+    def test_client_verifies_genuine_report(self, platform):
+        monitor, _, dev_a, _ = _booted(platform)
+        report = monitor.attest({}, {"dev-a": dev_a.public_key})
+        verify_attestation_report(
+            report,
+            platform.attestation_service.public,
+            {"nvidia": platform.vendors["nvidia"].public},
+            {"dev-a": dev_a.vendor_cert},
+        )
+
+    def test_report_includes_device_tree(self, platform):
+        report = self._report(platform)
+        assert report.device_tree_blob == platform.device_tree.serialize()
+
+    def test_tampered_report_rejected(self, platform):
+        monitor, _, dev_a, _ = _booted(platform)
+        report = monitor.attest({}, {"dev-a": dev_a.public_key})
+        forged = AttestationReport(
+            menclave_hashes={"0xdeadbeef": "ff" * 32},  # attacker edit
+            mos_hashes=report.mos_hashes,
+            device_tree_blob=report.device_tree_blob,
+            accelerator_keys=report.accelerator_keys,
+            signature=report.signature,
+            atk_certificate=report.atk_certificate,
+        )
+        with pytest.raises(AttestationError, match="signature"):
+            verify_attestation_report(
+                forged,
+                platform.attestation_service.public,
+                {"nvidia": platform.vendors["nvidia"].public},
+                {"dev-a": dev_a.vendor_cert},
+            )
+
+    def test_unsigned_report_rejected(self, platform):
+        report = self._report(platform)
+        bare = AttestationReport(
+            menclave_hashes=report.menclave_hashes,
+            mos_hashes=report.mos_hashes,
+            device_tree_blob=report.device_tree_blob,
+            accelerator_keys=report.accelerator_keys,
+        )
+        with pytest.raises(AttestationError, match="unsigned"):
+            verify_attestation_report(bare, platform.attestation_service.public, {}, {})
+
+    def test_missing_vendor_cert_rejected(self, platform):
+        monitor, _, dev_a, _ = _booted(platform)
+        report = monitor.attest({}, {"dev-a": dev_a.public_key})
+        with pytest.raises(AttestationError, match="no vendor certificate"):
+            verify_attestation_report(
+                report, platform.attestation_service.public,
+                {"nvidia": platform.vendors["nvidia"].public}, {},
+            )
+
+    def test_key_fingerprint_mismatch_rejected(self, platform):
+        """A fabricated device presenting another device's certificate."""
+        monitor, _, dev_a, dev_b = _booted(platform)
+        report = monitor.attest({}, {"dev-a": dev_a.public_key})
+        with pytest.raises(AttestationError, match="fingerprint"):
+            verify_attestation_report(
+                report, platform.attestation_service.public,
+                {"nvidia": platform.vendors["nvidia"].public},
+                {"dev-a": dev_b.vendor_cert},  # wrong device's endorsement
+            )
+
+
+class TestLocalAttestation:
+    def test_seal_verify_roundtrip(self, platform):
+        monitor, _, _, _ = _booted(platform)
+        report = monitor.seal_local_report(0x01000001, b"m" * 32, "part-a")
+        assert monitor.verify_local_report(report)
+
+    def test_forged_report_rejected(self, platform):
+        monitor, _, _, _ = _booted(platform)
+        report = monitor.seal_local_report(0x01000001, b"m" * 32, "part-a")
+        from repro.secure.monitor import LocalReport
+
+        forged = LocalReport(
+            enclave_eid=report.enclave_eid,
+            measurement=b"x" * 32,
+            partition=report.partition,
+            tag=report.tag,
+        )
+        assert not monitor.verify_local_report(forged)
+
+
+class TestPartitions:
+    def test_one_device_one_partition(self, platform):
+        _, spm, dev_a, _ = _booted(platform)
+        spm.create_partition("part-a", dev_a)
+        with pytest.raises(SPMError, match="already managed"):
+            spm.create_partition("part-a2", dev_a)
+
+    def test_duplicate_name_rejected(self, platform):
+        _, spm, dev_a, dev_b = _booted(platform)
+        spm.create_partition("part-a", dev_a)
+        with pytest.raises(SPMError, match="already exists"):
+            spm.create_partition("part-a", dev_b)
+
+    def test_partition_memory_roundtrip(self, platform):
+        _, spm, dev_a, _ = _booted(platform)
+        part = spm.create_partition("part-a", dev_a)
+        (page,) = spm.allocate_pages(part, 1)
+        part.write(page * PAGE_SIZE, b"partition data")
+        assert part.read(page * PAGE_SIZE, 14) == b"partition data"
+
+    def test_partition_cannot_touch_unallocated_memory(self, platform):
+        _, spm, dev_a, _ = _booted(platform)
+        part = spm.create_partition("part-a", dev_a)
+        some_secure = next(iter(platform.secure_page_range())) + 100
+        from repro.hw.pagetable import PageFault
+
+        with pytest.raises(PageFault):
+            part.read(some_secure * PAGE_SIZE, 8)
+
+    def test_partition_isolation(self, platform):
+        """Pages of one partition are invisible to another."""
+        _, spm, dev_a, dev_b = _booted(platform)
+        part_a = spm.create_partition("part-a", dev_a)
+        part_b = spm.create_partition("part-b", dev_b)
+        (page,) = spm.allocate_pages(part_a, 1)
+        part_a.write(page * PAGE_SIZE, b"private")
+        from repro.hw.pagetable import PageFault
+
+        with pytest.raises(PageFault):
+            part_b.read(page * PAGE_SIZE, 7)
+
+    def test_contiguous_allocation(self, platform):
+        _, spm, dev_a, _ = _booted(platform)
+        part = spm.create_partition("part-a", dev_a)
+        pages = spm.allocate_pages(part, 8)
+        assert list(pages) == list(range(pages[0], pages[0] + 8))
+
+    def test_free_pages_scrubs_and_recycles(self, platform):
+        _, spm, dev_a, _ = _booted(platform)
+        part = spm.create_partition("part-a", dev_a)
+        pages = spm.allocate_pages(part, 2)
+        part.write(pages[0] * PAGE_SIZE, b"leak me")
+        spm.free_pages(part, pages)
+        assert platform.memory.page_is_zero(pages[0])
+        again = spm.allocate_pages(part, 2)
+        assert set(again) == set(pages)  # recycled
+
+    def test_free_foreign_pages_rejected(self, platform):
+        _, spm, dev_a, dev_b = _booted(platform)
+        part_a = spm.create_partition("part-a", dev_a)
+        part_b = spm.create_partition("part-b", dev_b)
+        pages = spm.allocate_pages(part_a, 1)
+        with pytest.raises(SPMError, match="not owned"):
+            spm.free_pages(part_b, pages)
+
+
+class TestSharedMemory:
+    def _pair(self, platform):
+        _, spm, dev_a, dev_b = _booted(platform)
+        part_a = spm.create_partition("part-a", dev_a)
+        part_b = spm.create_partition("part-b", dev_b)
+        return spm, part_a, part_b
+
+    def test_share_gives_peer_access(self, platform):
+        spm, part_a, part_b = self._pair(platform)
+        pages = spm.allocate_pages(part_a, 1)
+        spm.share_pages(part_a, part_b, pages)
+        part_a.write(pages[0] * PAGE_SIZE, b"shared!")
+        assert part_b.read(pages[0] * PAGE_SIZE, 7) == b"shared!"
+
+    def test_share_once_rule(self, platform):
+        """A page may be shared only once (deadlock-avoidance, IV-D)."""
+        _, spm, dev_a, dev_b = _booted(platform)
+        dev_c = Device("dev-c", mmio=MMIORegion(0x3000, 0x100), irq=6)
+        part_a = spm.create_partition("part-a", dev_a)
+        part_b = spm.create_partition("part-b", dev_b)
+        part_c = spm.create_partition("part-c", dev_c)
+        pages = spm.allocate_pages(part_a, 1)
+        spm.share_pages(part_a, part_b, pages)
+        with pytest.raises(SPMError, match="share-once"):
+            spm.share_pages(part_a, part_c, pages)
+
+    def test_share_unowned_pages_rejected(self, platform):
+        spm, part_a, part_b = self._pair(platform)
+        pages = spm.allocate_pages(part_b, 1)
+        with pytest.raises(SPMError, match="not owned"):
+            spm.share_pages(part_a, part_b, pages)
+
+    def test_share_with_self_rejected(self, platform):
+        spm, part_a, _ = self._pair(platform)
+        pages = spm.allocate_pages(part_a, 1)
+        with pytest.raises(SPMError, match="self"):
+            spm.share_pages(part_a, part_a, pages)
+
+    def test_share_with_failed_partition_blocked(self, platform):
+        """r_f = 1 blocks new sharing during recovery (step 1)."""
+        spm, part_a, part_b = self._pair(platform)
+        pages = spm.allocate_pages(part_a, 1)
+        part_b.mark_failed()
+        with pytest.raises(SPMError, match="not ready"):
+            spm.share_pages(part_a, part_b, pages)
+
+    def test_reclaim_grant(self, platform):
+        spm, part_a, part_b = self._pair(platform)
+        pages = spm.allocate_pages(part_a, 1)
+        grant = spm.share_pages(part_a, part_b, pages)
+        spm.reclaim_grant(grant)
+        from repro.hw.pagetable import PageFault
+
+        with pytest.raises(PageFault):
+            part_b.read(pages[0] * PAGE_SIZE, 4)
+        # The owner keeps access and the page can be shared again.
+        part_a.read(pages[0] * PAGE_SIZE, 4)
+        spm.share_pages(part_a, part_b, pages)
+
+
+class TestProceedTrapRecovery:
+    def _shared_pair(self, platform):
+        _, spm, dev_a, dev_b = _booted(platform)
+        part_a = spm.create_partition("part-a", dev_a)
+        part_b = spm.create_partition("part-b", dev_b)
+        pages = spm.allocate_pages(part_a, 2)
+        spm.share_pages(part_a, part_b, pages)
+        return spm, part_a, part_b, pages
+
+    def test_survivor_access_traps_then_signals(self, platform):
+        spm, part_a, part_b, pages = self._shared_pair(platform)
+        spm.report_panic("part-b")
+        with pytest.raises(PeerFailedSignal) as exc:
+            part_a.read(pages[0] * PAGE_SIZE, 4)
+        assert exc.value.peer_partition == "part-b"
+
+    def test_owner_pages_restored_after_trap(self, platform):
+        spm, part_a, part_b, pages = self._shared_pair(platform)
+        spm.report_panic("part-b")
+        with pytest.raises(PeerFailedSignal):
+            part_a.read(pages[0] * PAGE_SIZE, 4)
+        # After the trap handler runs, the owner's access is recovered.
+        part_a.read(pages[0] * PAGE_SIZE, 4)
+
+    def test_shared_memory_scrubbed(self, platform):
+        spm, part_a, part_b, pages = self._shared_pair(platform)
+        part_a.write(pages[0] * PAGE_SIZE, b"sensitive")
+        spm.report_panic("part-b")
+        assert platform.memory.page_is_zero(pages[0])
+
+    def test_failed_partition_restarts_ready(self, platform):
+        spm, _, part_b, _ = self._shared_pair(platform)
+        report = spm.report_panic("part-b")
+        assert part_b.state is PartitionState.READY
+        assert part_b.restarts == 1
+        assert report.total_us > 0
+
+    def test_recovery_much_faster_than_reboot(self, platform):
+        spm, _, _, _ = self._shared_pair(platform)
+        report = spm.report_panic("part-b")
+        assert report.total_us < platform.costs.machine_reboot_us / 100
+
+    def test_recovery_counts_invalidations(self, platform):
+        spm, _, _, pages = self._shared_pair(platform)
+        report = spm.report_panic("part-b")
+        assert report.invalidated_stage2 == len(pages)
+        assert report.invalidated_smmu == len(pages)
+        assert report.smem_pages_scrubbed >= len(pages)
+
+    def test_failed_peer_device_dma_cut_off(self, platform):
+        """spt2 teardown: after P_b fails, its device can no longer DMA the
+        memory P_a had shared with it (a stale/malicious device would
+        otherwise keep scraping the region)."""
+        from repro.hw.memory import PAGE_SIZE
+        from repro.hw.smmu import SMMUFault
+
+        spm, part_a, part_b, pages = self._shared_pair(platform)
+        # Before the failure the peer's device reaches the shared page.
+        platform.secure_bus.dma_read("dev-b", pages[0] * PAGE_SIZE, 8)
+        spm.report_panic("part-b")
+        with pytest.raises(SMMUFault):
+            platform.secure_bus.dma_read("dev-b", pages[0] * PAGE_SIZE, 8)
+
+    def test_background_recovery_does_not_advance_clock(self, platform):
+        spm, _, _, _ = self._shared_pair(platform)
+        before = platform.clock.now
+        report = spm.report_panic("part-b", background=True)
+        # Only the short proceed step charges the clock.
+        assert platform.clock.now - before == pytest.approx(report.proceed_us)
+
+    def test_concurrent_failures_overlap_clearing(self, platform):
+        _, spm, dev_a, dev_b = _booted(platform)
+        part_a = spm.create_partition("part-a", dev_a)
+        part_b = spm.create_partition("part-b", dev_b)
+        before = platform.clock.now
+        reports = spm.recover_partitions(["part-a", "part-b"])
+        elapsed = platform.clock.now - before
+        serial = sum(r.clear_us + r.reload_us for r in reports)
+        assert elapsed < serial  # steps 2-3 ran concurrently
+
+    def test_watchdog_detects_hang(self, platform):
+        spm, part_a, part_b, _ = self._shared_pair(platform)
+        baseline = spm.heartbeat_snapshot()
+        spm.heartbeat("part-a")  # part-a is alive; part-b hangs
+        assert spm.watchdog_scan(baseline) == ["part-b"]
+
+    def test_proactive_restart(self, platform):
+        spm, _, part_b, _ = self._shared_pair(platform)
+        report = spm.request_restart("part-b")
+        assert report.partition == "part-b"
+        assert part_b.state is PartitionState.READY

@@ -1,0 +1,171 @@
+"""Simulation kernel: clock, cost model, timelines."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import CostModel, SimClock, Timeline
+from repro.sim.clock import ClockError
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock(-1.0)
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(3.5) == 3.5
+        assert clock.now == 3.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(20.0)
+        clock.advance_to(10.0)
+        assert clock.now == 20.0
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        mark = clock.now
+        clock.advance(7.0)
+        assert clock.elapsed_since(mark) == 7.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_monotonic_under_any_advances(self, deltas):
+        clock = SimClock()
+        last = clock.now
+        for d in deltas:
+            clock.advance(d)
+            assert clock.now >= last
+            last = clock.now
+
+
+class TestCostModel:
+    def test_copy_cost_scales_linearly(self):
+        costs = CostModel()
+        one = costs.copy_cost_us(1024, per_kib=0.1)
+        two = costs.copy_cost_us(2048, per_kib=0.1)
+        assert two == pytest.approx(2 * one)
+
+    def test_sync_rpc_overhead_counts_switches(self):
+        costs = CostModel()
+        expect = 2 * costs.rpc_context_switches * costs.partition_switch_us
+        assert costs.sync_rpc_overhead_us() == pytest.approx(
+            expect + 2 * costs.enclave_entry_us
+        )
+
+    def test_encrypted_rpc_costs_more_than_sync(self):
+        costs = CostModel()
+        assert costs.encrypted_rpc_overhead_us(1024) > costs.sync_rpc_overhead_us()
+
+    def test_srpc_enqueue_is_cheapest(self):
+        costs = CostModel()
+        assert costs.srpc_enqueue_us(1024) < costs.sync_rpc_overhead_us()
+
+    def test_with_overrides(self):
+        costs = CostModel().with_overrides(partition_switch_us=99.0)
+        assert costs.partition_switch_us == 99.0
+
+    def test_with_overrides_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown cost model fields"):
+            CostModel().with_overrides(bogus_field=1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            CostModel().partition_switch_us = 1.0
+
+
+class TestTimeline:
+    def test_submit_returns_completion(self):
+        clock = SimClock()
+        timeline = Timeline(clock)
+        assert timeline.submit(5.0) == 5.0
+        assert clock.now == 0.0  # submission is asynchronous
+
+    def test_sequential_execution(self):
+        timeline = Timeline(SimClock())
+        timeline.submit(3.0)
+        assert timeline.submit(2.0) == 5.0
+
+    def test_join_advances_caller(self):
+        clock = SimClock()
+        timeline = Timeline(clock)
+        timeline.submit(10.0)
+        timeline.join()
+        assert clock.now == 10.0
+
+    def test_join_after_completion_is_noop(self):
+        clock = SimClock()
+        timeline = Timeline(clock)
+        timeline.submit(1.0)
+        clock.advance(5.0)
+        timeline.join()
+        assert clock.now == 5.0
+
+    def test_work_starts_no_earlier_than_now(self):
+        clock = SimClock()
+        timeline = Timeline(clock)
+        clock.advance(100.0)
+        assert timeline.submit(1.0) == 101.0
+
+    def test_not_before_dependency(self):
+        timeline = Timeline(SimClock())
+        assert timeline.submit(1.0, not_before=50.0) == 51.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline(SimClock()).submit(-1.0)
+
+    def test_busy_accounting(self):
+        timeline = Timeline(SimClock())
+        timeline.submit(2.0)
+        timeline.submit(3.0)
+        assert timeline.busy_us == 5.0
+        assert timeline.submitted == 2
+
+    def test_reset_forgets_pending(self):
+        clock = SimClock()
+        timeline = Timeline(clock)
+        timeline.submit(100.0)
+        timeline.reset()
+        timeline.join()
+        assert clock.now == 0.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    def test_available_at_is_sum_when_caller_idle(self, durations):
+        timeline = Timeline(SimClock())
+        for d in durations:
+            timeline.submit(d)
+        assert timeline.available_at == pytest.approx(sum(durations), rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=10.0),
+                st.floats(min_value=0.0, max_value=10.0),
+            ),
+            max_size=30,
+        )
+    )
+    def test_join_never_moves_clock_backwards(self, ops):
+        clock = SimClock()
+        timeline = Timeline(clock)
+        for caller_work, device_work in ops:
+            clock.advance(caller_work)
+            timeline.submit(device_work)
+            before = clock.now
+            timeline.join()
+            assert clock.now >= before

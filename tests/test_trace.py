@@ -1,0 +1,82 @@
+"""Event tracing: opt-in observability with protocol-ordering assertions."""
+
+import pytest
+
+from repro.metrics.trace import TraceEvent, Tracer
+from repro.sim import SimClock
+from repro.systems import CronusSystem
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tracer = Tracer(SimClock())
+        tracer.emit("x", "event")
+        assert len(tracer) == 0
+
+    def test_records_when_enabled(self):
+        clock = SimClock()
+        tracer = Tracer(clock, enabled=True)
+        clock.advance(5.0)
+        tracer.emit("spm", "create-partition", "part-a")
+        (event,) = tracer.events()
+        assert event.time_us == 5.0
+        assert event.component == "spm"
+        assert "part-a" in str(event)
+
+    def test_capacity_cap(self):
+        tracer = Tracer(SimClock(), enabled=True, capacity=3)
+        for i in range(10):
+            tracer.emit("x", f"e{i}")
+        assert len(tracer) == 3
+
+    def test_filters(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        tracer.emit("a", "one")
+        tracer.emit("b", "two")
+        tracer.emit("a", "two")
+        assert len(tracer.events(component="a")) == 2
+        assert len(tracer.events(event="two")) == 2
+        assert len(tracer.events(component="a", event="two")) == 1
+
+    def test_clear(self):
+        tracer = Tracer(SimClock(), enabled=True)
+        tracer.emit("x", "e")
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestSystemTracing:
+    def test_boot_sequence_recorded(self):
+        system2 = CronusSystem(trace=True)
+        sequence = system2.platform.tracer.sequence()
+        assert sequence[0] == "secure-boot"
+        assert sequence.count("create-partition") == 3
+        assert sequence.count("measure-mos") == 3
+        # Boot order: the monitor boots before any partition exists.
+        assert sequence.index("secure-boot") < sequence.index("create-partition")
+
+    def test_recovery_sequence_ordering(self, cronus):
+        """Proceed must precede reload; a later access shows a trap event."""
+        tracer = cronus.platform.tracer
+        tracer.enabled = True
+        rt = cronus.runtime(cuda_kernels=("vecadd",), owner="traced")
+        rt.cudaMalloc((8,))
+        cronus.fail_partition("gpu0")
+        from repro.rpc.channel import SRPCPeerFailure
+
+        with pytest.raises(SRPCPeerFailure):
+            rt.cudaMalloc((8,))
+        sequence = tracer.sequence()
+        assert "recovery-proceed" in sequence
+        assert "recovery-reload" in sequence
+        assert "trap-handled" in sequence
+        assert sequence.index("recovery-proceed") < sequence.index("recovery-reload")
+        assert sequence.index("recovery-reload") < sequence.index("trap-handled")
+
+    def test_channel_open_traced(self, cronus):
+        tracer = cronus.platform.tracer
+        tracer.enabled = True
+        rt = cronus.runtime(cuda_kernels=("vecadd",), owner="traced2")
+        assert tracer.events(event="channel-open")
+        assert tracer.events(event="create-enclave")
+        cronus.release(rt)

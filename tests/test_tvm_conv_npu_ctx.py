@@ -1,0 +1,142 @@
+"""Conv-to-GEMM lowering in TVM-lite and NPU tenant namespaces."""
+
+import numpy as np
+import pytest
+
+from repro.accel.npu import NpuError
+from repro.enclave.images import NpuImage
+from repro.enclave.manifest import Manifest
+from repro.enclave.models import NPU_MECALLS
+from repro.systems import CronusSystem, NativeLinux
+from repro.workloads.tvm import (
+    ConvSpec,
+    DenseSpec,
+    GraphDef,
+    compile_graph,
+    conv_lenet_graph,
+    reference,
+    _im2col,
+)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 6 * 6, dtype=np.int8).reshape(2, 3, 6, 6)
+        matrix, ho, wo = _im2col(x, kernel=3, stride=1)
+        assert (ho, wo) == (4, 4)
+        assert matrix.shape == (2 * 16, 27)
+
+    def test_stride(self):
+        x = np.zeros((1, 1, 8, 8), np.int8)
+        matrix, ho, wo = _im2col(x, kernel=2, stride=2)
+        assert (ho, wo) == (4, 4)
+        assert matrix.shape == (16, 4)
+
+    def test_values_match_patches(self):
+        x = np.arange(16, dtype=np.int8).reshape(1, 1, 4, 4)
+        matrix, _, _ = _im2col(x, kernel=2, stride=1)
+        assert list(matrix[0]) == [0, 1, 4, 5]
+        assert list(matrix[-1]) == [10, 11, 14, 15]
+
+
+class TestConvLowering:
+    def test_conv_graph_matches_reference_on_cronus(self):
+        graph = conv_lenet_graph()
+        module = compile_graph(graph)
+        system = CronusSystem()
+        rt = system.runtime(npu_programs=module.programs, owner="conv")
+        x = np.random.default_rng(8).integers(-8, 8, (2, 1, 8, 8)).astype(np.int8)
+        out = module.run(rt, x)
+        assert np.array_equal(out, reference(module, x))
+        system.release(rt)
+
+    def test_conv_matches_direct_numpy_convolution(self):
+        """The im2col GEMM equals a direct quantized convolution."""
+        graph = GraphDef(
+            name="one-conv", input_features=0,
+            layers=(ConvSpec(2, kernel=3, relu=False),),
+            input_shape=(1, 5, 5),
+        )
+        module = compile_graph(graph)
+        x = np.random.default_rng(9).integers(-8, 8, (1, 1, 5, 5)).astype(np.int8)
+        out = reference(module, x)
+        w = module.weights[next(iter(module.weights))].reshape(2, 1, 3, 3).astype(np.int32)
+        direct = np.zeros((1, 2, 3, 3), np.int32)
+        for co in range(2):
+            for i in range(3):
+                for j in range(3):
+                    direct[0, co, i, j] = (
+                        x[0, :, i : i + 3, j : j + 3].astype(np.int32) * w[co]
+                    ).sum()
+        expect = np.clip(direct >> 5, -128, 127).astype(np.int8)
+        assert np.array_equal(out, expect)
+
+    def test_cpu_and_npu_agree(self):
+        graph = conv_lenet_graph()
+        module = compile_graph(graph)
+        system = NativeLinux()
+        rt = system.runtime(npu_programs=module.programs)
+        x = np.random.default_rng(10).integers(-8, 8, (2, 1, 8, 8)).astype(np.int8)
+        assert np.array_equal(module.run(rt, x), module.run_on_cpu(rt, x))
+        rt.close()
+
+    def test_conv_without_spatial_shape_rejected(self):
+        graph = GraphDef(
+            name="bad", input_features=16, layers=(ConvSpec(2),)
+        )
+        with pytest.raises(ValueError, match="spatial"):
+            compile_graph(graph)
+
+    def test_dense_only_path_unchanged(self):
+        from repro.workloads.tvm import resnet18_graph
+
+        graph = resnet18_graph()
+        module = compile_graph(graph)
+        system = NativeLinux()
+        rt = system.runtime(npu_programs=module.programs)
+        x = np.random.default_rng(11).integers(-8, 8, (2, graph.input_features)).astype(np.int8)
+        assert np.array_equal(module.run(rt, x), reference(module, x))
+        rt.close()
+
+
+class TestNpuNamespaces:
+    def _npu_enclave(self, cronus, app_name):
+        from repro.workloads.vta_bench import make_gemm_program
+
+        app = cronus.application(app_name)
+        image = NpuImage(name=app_name, programs={"gemm": make_gemm_program()})
+        manifest = Manifest(
+            device_type="npu",
+            images={f"{app_name}.vta": image.digest()},
+            mecalls=NPU_MECALLS,
+            memory_bytes=16 << 20,
+        )
+        return app.create_enclave(manifest, image, f"{app_name}.vta")
+
+    def test_tenants_do_not_share_tensor_names(self, cronus):
+        """Two NPU mEnclaves both use tensor 'inp'; each sees its own."""
+        a = self._npu_enclave(cronus, "tenant-a")
+        b = self._npu_enclave(cronus, "tenant-b")
+        a.ecall("vtaWriteTensor", "inp", np.full((2, 2), 1, np.int8))
+        b.ecall("vtaWriteTensor", "inp", np.full((2, 2), 9, np.int8))
+        assert a.ecall("vtaReadTensor", "inp")[0, 0] == 1
+        assert b.ecall("vtaReadTensor", "inp")[0, 0] == 9
+
+    def test_tenant_cannot_read_foreign_tensor(self, cronus):
+        a = self._npu_enclave(cronus, "tenant-c")
+        b = self._npu_enclave(cronus, "tenant-d")
+        a.ecall("vtaWriteTensor", "secret", np.full((2, 2), 7, np.int8))
+        with pytest.raises(NpuError, match="no tensor"):
+            b.ecall("vtaReadTensor", "secret")
+
+    def test_gemm_runs_inside_namespace(self, cronus):
+        a = self._npu_enclave(cronus, "tenant-e")
+        inp = np.full((2, 2), 2, np.int8)
+        a.ecall("vtaWriteTensor", "inp", inp)
+        a.ecall("vtaWriteTensor", "wgt", inp)
+        a.ecall("vtaWriteTensor", "out", np.zeros((2, 2), np.int8))
+        a.ecall("vtaRun", "gemm")
+        out = a.ecall("vtaReadTensor", "out")
+        from repro.workloads.vta_bench import gemm_reference
+
+        assert np.array_equal(out, gemm_reference(inp, inp))

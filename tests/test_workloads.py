@@ -1,0 +1,326 @@
+"""Workloads: kernel library, Rodinia, datasets, DNN training, VTA, TVM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.gpu import KERNEL_REGISTRY
+from repro.systems import NativeLinux
+from repro.workloads.datasets import synthetic_cifar10, synthetic_imagenet, synthetic_mnist
+from repro.workloads.dnn import MODEL_BUILDERS, TRAINING_KERNELS, lenet, train
+from repro.workloads.rodinia import RODINIA, all_kernels
+from repro.workloads.tvm import INFERENCE_GRAPHS, compile_graph, reference
+from repro.workloads.vta_bench import (
+    BENCH_PROGRAMS,
+    alu_reference,
+    gemm_reference,
+    run_alu,
+    run_gemm,
+)
+
+
+@pytest.fixture
+def rt():
+    system = NativeLinux()
+    runtime = system.runtime(npu_programs=BENCH_PROGRAMS)
+    yield runtime
+    runtime.close()
+
+
+class TestKernelLibrary:
+    def test_all_training_kernels_registered(self):
+        for name in TRAINING_KERNELS:
+            assert name in KERNEL_REGISTRY, name
+
+    def test_all_rodinia_kernels_registered(self):
+        for name in all_kernels():
+            assert name in KERNEL_REGISTRY, name
+
+    def test_matmul_correct(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((5, 7)).astype(np.float32)
+        b = rng.standard_normal((7, 3)).astype(np.float32)
+        c = np.zeros((5, 3), np.float32)
+        KERNEL_REGISTRY["matmul"].fn(a, b, c)
+        assert np.allclose(c, a @ b, atol=1e-5)
+
+    def test_matmul_variants(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((4, 6)).astype(np.float32)
+        b = rng.standard_normal((4, 3)).astype(np.float32)
+        c = np.zeros((6, 3), np.float32)
+        KERNEL_REGISTRY["matmul_tn"].fn(a, b, c)
+        assert np.allclose(c, a.T @ b, atol=1e-5)
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        y = rng.standard_normal((3, 7)).astype(np.float32)
+        z = np.zeros((5, 3), np.float32)
+        KERNEL_REGISTRY["matmul_nt"].fn(x, y, z)
+        assert np.allclose(z, x @ y.T, atol=1e-5)
+
+    def test_softmax_xent_gradient_sums_to_zero(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((8, 10)).astype(np.float32)
+        onehot = np.eye(10, dtype=np.float32)[rng.integers(0, 10, 8)]
+        loss = np.zeros(1, np.float32)
+        grad = np.zeros_like(logits)
+        KERNEL_REGISTRY["softmax_xent"].fn(logits, onehot, loss, grad)
+        assert loss[0] > 0
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-5)
+
+    def test_conv2d_fwd_matches_direct(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        y = np.zeros((2, 4, 4, 4), np.float32)
+        KERNEL_REGISTRY["conv2d_fwd"].fn(x, w, y, stride=1)
+        ref = np.zeros_like(y)
+        for n in range(2):
+            for co in range(4):
+                for i in range(4):
+                    for j in range(4):
+                        ref[n, co, i, j] = (x[n, :, i : i + 3, j : j + 3] * w[co]).sum()
+        assert np.allclose(y, ref, atol=1e-4)
+
+    def test_conv2d_gradients_numerically(self):
+        """Finite-difference check of conv2d backward kernels."""
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float64).astype(np.float32)
+        w = rng.standard_normal((2, 2, 2, 2)).astype(np.float32)
+        gy = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+        gw = np.zeros_like(w)
+        gx = np.zeros_like(x)
+        KERNEL_REGISTRY["conv2d_bwd_w"].fn(x, w, gy, gw, stride=1)
+        KERNEL_REGISTRY["conv2d_bwd_x"].fn(x, w, gy, gx, stride=1)
+
+        def loss(x_, w_):
+            y = np.zeros((1, 2, 3, 3), np.float32)
+            KERNEL_REGISTRY["conv2d_fwd"].fn(x_, w_, y, stride=1)
+            return float((y * gy).sum())
+
+        eps = 1e-3
+        for idx in [(0, 0, 0, 0), (1, 1, 1, 1)]:
+            w_plus, w_minus = w.copy(), w.copy()
+            w_plus[idx] += eps
+            w_minus[idx] -= eps
+            numeric = (loss(x, w_plus) - loss(x, w_minus)) / (2 * eps)
+            assert numeric == pytest.approx(gw[idx], rel=0.05, abs=1e-2)
+        for idx in [(0, 0, 1, 1), (0, 1, 2, 2)]:
+            x_plus, x_minus = x.copy(), x.copy()
+            x_plus[idx] += eps
+            x_minus[idx] -= eps
+            numeric = (loss(x_plus, w) - loss(x_minus, w)) / (2 * eps)
+            assert numeric == pytest.approx(gx[idx], rel=0.05, abs=1e-2)
+
+    def test_avgpool_roundtrip_shapes(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        y = np.zeros((1, 1, 2, 2), np.float32)
+        KERNEL_REGISTRY["avgpool_fwd"].fn(x, y, k=2)
+        assert y[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+        gx = np.zeros_like(x)
+        KERNEL_REGISTRY["avgpool_bwd"].fn(y, gx, k=2)
+        assert gx[0, 0, 0, 0] == pytest.approx(y[0, 0, 0, 0] / 4)
+
+    def test_concat_slice_inverse(self):
+        a = np.ones((2, 3, 4, 4), np.float32)
+        b = np.full((2, 2, 4, 4), 2.0, np.float32)
+        c = np.zeros((2, 5, 4, 4), np.float32)
+        KERNEL_REGISTRY["concat_c"].fn(a, b, c)
+        out_a = np.zeros_like(a)
+        out_b = np.zeros_like(b)
+        KERNEL_REGISTRY["slice_c"].fn(c, out_a, offset=0)
+        KERNEL_REGISTRY["slice_c"].fn(c, out_b, offset=3)
+        assert np.array_equal(out_a, a)
+        assert np.array_equal(out_b, b)
+
+    @given(st.integers(1, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_relu_bwd_masks_exactly(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n).astype(np.float32)
+        gy = rng.standard_normal(n).astype(np.float32)
+        gx = np.zeros_like(x)
+        KERNEL_REGISTRY["relu_bwd"].fn(x, gy, gx)
+        assert np.array_equal(gx, gy * (x > 0))
+
+
+class TestRodinia:
+    @pytest.mark.parametrize("name", sorted(RODINIA), ids=str)
+    def test_bench_verifies_on_native(self, name):
+        system = NativeLinux()
+        runtime = system.runtime()
+        RODINIA[name].run(runtime)  # raises VerificationError on divergence
+        runtime.close()
+
+    def test_all_kernels_covers_every_bench(self):
+        kernels = set(all_kernels())
+        for bench in RODINIA.values():
+            assert set(bench.kernels) <= kernels
+
+    def test_verification_catches_corruption(self):
+        from repro.workloads.rodinia import VerificationError, _check
+
+        with pytest.raises(VerificationError):
+            _check("demo", np.ones(4), np.zeros(4))
+
+
+class TestDatasets:
+    def test_shapes_and_classes(self):
+        mnist = synthetic_mnist(32)
+        assert mnist.images.shape == (32, 1, 8, 8)
+        assert mnist.num_classes == 10
+        cifar = synthetic_cifar10(32)
+        assert cifar.images.shape == (32, 3, 8, 8)
+        imnet = synthetic_imagenet(16)
+        assert imnet.images.shape == (16, 3, 16, 16)
+        assert imnet.num_classes == 100
+
+    def test_deterministic(self):
+        assert np.array_equal(synthetic_mnist(8).images, synthetic_mnist(8).images)
+
+    def test_one_hot(self):
+        data = synthetic_mnist(16)
+        onehot = data.one_hot()
+        assert onehot.shape == (16, 10)
+        assert np.array_equal(onehot.argmax(axis=1), data.labels)
+
+    def test_batches_drop_remainder(self):
+        data = synthetic_mnist(20)
+        batches = list(data.batches(8))
+        assert len(batches) == 2
+        assert batches[0][0].shape[0] == 8
+
+    def test_learnable_signal_present(self):
+        """Same-class images are more similar than cross-class ones."""
+        data = synthetic_mnist(64)
+        flat = data.images.reshape(len(data), -1)
+        same, cross = [], []
+        for i in range(0, 32):
+            for j in range(i + 1, 32):
+                d = float(((flat[i] - flat[j]) ** 2).sum())
+                (same if data.labels[i] == data.labels[j] else cross).append(d)
+        assert np.mean(same) < np.mean(cross)
+
+
+class TestDnnTraining:
+    def test_lenet_loss_decreases(self):
+        system = NativeLinux()
+        runtime = system.runtime()
+        history = train(runtime, lenet(), synthetic_mnist(96), epochs=3, batch_size=16)
+        assert history[-1] < history[0]
+        runtime.close()
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS), ids=str)
+    def test_all_models_train_one_epoch(self, name):
+        system = NativeLinux()
+        runtime = system.runtime()
+        if name == "densenet":
+            data = synthetic_imagenet(16)
+            model = MODEL_BUILDERS[name]()
+        elif name == "lenet":
+            data = synthetic_mnist(32)
+            model = MODEL_BUILDERS[name]()
+        else:
+            data = synthetic_cifar10(32)
+            model = MODEL_BUILDERS[name]()
+        history = train(runtime, model, data, epochs=1, batch_size=8)
+        assert np.isfinite(history[0])
+        model.free(runtime)
+        runtime.close()
+
+    def test_training_learns_labels(self):
+        """After training, predictions beat chance on the training set."""
+        system = NativeLinux()
+        runtime = system.runtime()
+        data = synthetic_mnist(64)
+        model = lenet()
+        train(runtime, model, data, epochs=8, batch_size=16, lr=0.1)
+        correct = 0
+        for images, onehot in data.batches(16):
+            logits = model.predict(runtime, images)
+            correct += int((logits.argmax(axis=1) == onehot.argmax(axis=1)).sum())
+        assert correct / 64 > 0.3  # chance is 0.1
+        runtime.close()
+
+    def test_model_shape_validation(self):
+        from repro.workloads.dnn import Linear, Model
+
+        system = NativeLinux()
+        runtime = system.runtime()
+        bad = Model(name="bad", layers=[Linear(7)], sim_scale=1.0, num_classes=10)
+        with pytest.raises(ValueError, match="output shape"):
+            bad.build(runtime, (4, 16))
+        runtime.close()
+
+    def test_deterministic_across_runs(self):
+        losses = []
+        for _ in range(2):
+            system = NativeLinux()
+            runtime = system.runtime()
+            losses.append(
+                train(runtime, lenet(), synthetic_mnist(32), epochs=1, batch_size=16)[0]
+            )
+            runtime.close()
+        assert losses[0] == losses[1]
+
+
+class TestVtaBench:
+    def test_gemm_verifies(self, rt):
+        out, macs = run_gemm(rt, size=16, iters=3)
+        assert macs == 3 * 16**3
+        assert out.dtype == np.int8
+
+    def test_alu_verifies(self, rt):
+        out = run_alu(rt, size=16, iters=3)
+        assert out.dtype == np.int32
+
+    def test_references_match_manual(self):
+        inp = np.array([[4, 4]], np.int8)
+        wgt = np.array([[4, 4]], np.int8)
+        assert gemm_reference(inp, wgt, shift=4)[0, 0] == (32 >> 4)
+        acc = np.array([[16]], np.int32)
+        assert alu_reference(acc)[0, 0] == min(((16 + 3) >> 1) - 1, 100)
+
+
+class TestTvmLite:
+    @pytest.mark.parametrize("name", sorted(INFERENCE_GRAPHS), ids=str)
+    def test_inference_matches_reference(self, name):
+        graph = INFERENCE_GRAPHS[name]()
+        module = compile_graph(graph)
+        system = NativeLinux()
+        runtime = system.runtime(npu_programs=module.programs)
+        x = np.random.default_rng(5).integers(-8, 8, (2, graph.input_features)).astype(np.int8)
+        out = module.run(runtime, x)
+        assert np.array_equal(out, reference(module, x))
+        runtime.close()
+
+    def test_cpu_execution_matches_npu(self):
+        graph = INFERENCE_GRAPHS["resnet18"]()
+        module = compile_graph(graph)
+        system = NativeLinux()
+        runtime = system.runtime(npu_programs=module.programs)
+        x = np.random.default_rng(6).integers(-8, 8, (2, graph.input_features)).astype(np.int8)
+        npu_out = module.run(runtime, x)
+        cpu_out = module.run_on_cpu(runtime, x)
+        assert np.array_equal(npu_out, cpu_out)
+        runtime.close()
+
+    def test_compile_emits_one_program_per_layer(self):
+        graph = INFERENCE_GRAPHS["resnet50"]()
+        module = compile_graph(graph)
+        assert len(module.programs) == len(graph.layers)
+        assert len(module.plan) == len(graph.layers)
+
+    def test_deeper_graph_takes_longer(self):
+        """Latency ordering: resnet18 < resnet50 < yolov3 (figure 10b)."""
+        times = {}
+        for name, build in INFERENCE_GRAPHS.items():
+            graph = build()
+            module = compile_graph(graph)
+            system = NativeLinux()
+            runtime = system.runtime(npu_programs=module.programs)
+            x = np.zeros((1, graph.input_features), np.int8)
+            before = system.clock.now
+            module.run(runtime, x)
+            times[name] = system.clock.now - before
+            runtime.close()
+        assert times["resnet18"] < times["resnet50"] < times["yolov3"]
