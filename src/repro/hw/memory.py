@@ -54,6 +54,51 @@ class PhysicalMemory:
             chunk[start:end] = data[cursor : cursor + (end - start)]
             cursor += end - start
 
+    # -- single-page fast lane ----------------------------------------------
+    # The overwhelmingly common accesses in the sRPC hot path are small
+    # (header u64s, length prefixes, short records) and never cross a page
+    # boundary, so they can skip the per-span generator and intermediate
+    # ``bytearray`` assembly.  World checks are identical to the slow path.
+    def read_single(self, addr: int, length: int, *, world: str = SECURE_WORLD) -> bytes:
+        """Read a range known to lie within one physical page."""
+        self._check(addr, length, world)
+        page, start = divmod(addr, PAGE_SIZE)
+        if start + length > PAGE_SIZE:
+            return self.read(addr, length, world=world)
+        chunk = self._pages.get(page)
+        if chunk is None:
+            return b"\x00" * length
+        return bytes(memoryview(chunk)[start : start + length])
+
+    def write_single(self, addr: int, data: bytes, *, world: str = SECURE_WORLD) -> None:
+        """Write a range known to lie within one physical page."""
+        length = len(data)
+        self._check(addr, length, world)
+        page, start = divmod(addr, PAGE_SIZE)
+        if start + length > PAGE_SIZE:
+            self.write(addr, data, world=world)
+            return
+        chunk = self._pages.get(page)
+        if chunk is None:
+            chunk = self._pages[page] = bytearray(PAGE_SIZE)
+        chunk[start : start + length] = data
+
+    def page_view(self, page: int) -> bytearray:
+        """The backing ``bytearray`` of one physical page (lazily allocated).
+
+        Fast-lane hook for accesses whose address has already been produced
+        by a stage-2 translation: such pages are in physical range by
+        construction, and partition accesses are secure-world initiated, so
+        the TZASC filter (which only rejects *normal*-world reads of secure
+        DRAM) has nothing to check.  Callers must stay within the page.
+        """
+        if page < 0 or (page + 1) * PAGE_SIZE > self.size_bytes:
+            raise AccessFault(f"page out of physical range: {page:#x}")
+        chunk = self._pages.get(page)
+        if chunk is None:
+            chunk = self._pages[page] = bytearray(PAGE_SIZE)
+        return chunk
+
     def zero_range(self, addr: int, length: int) -> None:
         """Clear a range without a world check — hardware-initiated scrub,
         used by failure clearing (paper section IV-D, attack A3)."""

@@ -6,6 +6,14 @@ every later access *traps* instead of leaking data (paper section IV-D).
 We model a page table as an explicit page-indexed map; lookups on missing
 or invalidated entries raise :class:`PageFault` carrying enough context for
 the SPM's trap handler.
+
+Each table carries a translation cache — the simulated TLB — keyed by
+``(virt_page, write)``.  Any mutation of an entry (``map``, ``unmap``,
+``invalidate``, ``revalidate``) shoots down that page's cached lines, so a
+stage-2 invalidation during failover traps the very next access: the cache
+can never serve a translation whose backing entry is gone or invalid.  The
+TLB changes *host* wall-clock time only; simulated time is charged by the
+SPM at map/invalidate sites, exactly as before.
 """
 
 from __future__ import annotations
@@ -50,6 +58,40 @@ class PageTable:
     def __init__(self, name: str) -> None:
         self.name = name
         self._entries: Dict[int, PageTableEntry] = {}
+        # Simulated TLB: (virt_page, write) -> phys_page.  Hit/miss and
+        # maintenance counters are surfaced through ``tlb_stats`` so the
+        # wall-clock benchmarks can show the cache working, not assert it.
+        self._tlb: Dict[Tuple[int, bool], int] = {}
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.tlb_shootdowns = 0
+        self.tlb_flushes = 0
+
+    # -- TLB maintenance ---------------------------------------------------
+    def flush(self) -> None:
+        """Drop every cached translation (full TLB flush, e.g. on mOS
+        reload: the reborn partition must re-walk its stage-2 table)."""
+        if self._tlb:
+            self._tlb.clear()
+        self.tlb_flushes += 1
+
+    def shoot_down(self, virt_page: int) -> None:
+        """Evict one page's cached lines (both the read and write ways)."""
+        evicted = self._tlb.pop((virt_page, False), None) is not None
+        evicted = (self._tlb.pop((virt_page, True), None) is not None) or evicted
+        if evicted:
+            self.tlb_shootdowns += 1
+
+    @property
+    def tlb_stats(self) -> Dict[str, int]:
+        """Hit/miss and maintenance counters for the metrics report."""
+        return {
+            "hits": self.tlb_hits,
+            "misses": self.tlb_misses,
+            "shootdowns": self.tlb_shootdowns,
+            "flushes": self.tlb_flushes,
+            "cached": len(self._tlb),
+        }
 
     def map(
         self,
@@ -66,10 +108,12 @@ class PageTable:
         self._entries[virt_page] = PageTableEntry(
             phys_page=phys_page, perm=perm, shared_with=shared_with
         )
+        self.shoot_down(virt_page)
 
     def unmap(self, virt_page: int) -> None:
         """Remove a translation entirely."""
         self._entries.pop(virt_page, None)
+        self.shoot_down(virt_page)
 
     def invalidate(self, virt_page: int) -> bool:
         """Mark a translation invalid (it stays present so later accesses
@@ -79,14 +123,21 @@ class PageTable:
         if entry is None or not entry.valid:
             return False
         entry.valid = False
+        self.shoot_down(virt_page)
         return True
 
     def revalidate(self, virt_page: int, phys_page: int, perm: PagePermission) -> None:
         """Re-install a translation after recovery reassigns the page."""
         self._entries[virt_page] = PageTableEntry(phys_page=phys_page, perm=perm)
+        self.shoot_down(virt_page)
 
     def translate(self, virt_page: int, *, write: bool = False) -> int:
         """Resolve ``virt_page`` or raise :class:`PageFault`."""
+        phys_page = self._tlb.get((virt_page, write))
+        if phys_page is not None:
+            self.tlb_hits += 1
+            return phys_page
+        self.tlb_misses += 1
         entry = self._entries.get(virt_page)
         if entry is None:
             raise PageFault(
@@ -110,6 +161,7 @@ class PageTable:
                 table=self.name,
                 invalidated=False,
             )
+        self._tlb[(virt_page, write)] = entry.phys_page
         return entry.phys_page
 
     def entry(self, virt_page: int) -> Optional[PageTableEntry]:

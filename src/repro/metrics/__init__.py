@@ -1,10 +1,11 @@
 """Measurement and reporting helpers for the benchmark harness."""
 
-from repro.metrics.report import format_table, normalize
+from repro.metrics.report import counters_table, format_table, normalize
 from repro.metrics.tcb import TCB_GROUPS, loc_of_modules, tcb_report
 from repro.metrics.trace import TraceEvent, Tracer
 
 __all__ = [
+    "counters_table",
     "format_table",
     "normalize",
     "TCB_GROUPS",

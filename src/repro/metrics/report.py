@@ -3,7 +3,7 @@ regenerated rows/series can be compared against the paper's figures."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -24,3 +24,20 @@ def normalize(times: Dict[str, float], baseline: str) -> Dict[str, float]:
     if base <= 0:
         raise ValueError(f"baseline {baseline!r} time must be positive")
     return {name: t / base for name, t in times.items()}
+
+
+def counters_table(counters: Mapping[str, Mapping[str, object]]) -> str:
+    """Render per-layer hot-path counters as one aligned table.
+
+    ``counters`` maps a layer label (e.g. ``"stage2:cpu0"``) to that
+    layer's counter dict — TLB hits/misses (``PageTable.tlb_stats``),
+    partition fast/slow lane counts, or ring header write-backs
+    (``SharedRingBuffer.stats``).  Used by ``bench_wallclock`` so the
+    host-speed fast paths are observable, not asserted.
+    """
+    rows = [
+        [layer, name, value]
+        for layer, layer_counters in counters.items()
+        for name, value in layer_counters.items()
+    ]
+    return format_table(["layer", "counter", "value"], rows)

@@ -167,16 +167,32 @@ class _Stream:
         return pickle.loads(raw)
 
     def _expand_smem(self, need_bytes: int) -> None:
-        """Out-of-memory rule: expand smem and re-run dCheck (section IV-C)."""
+        """Out-of-memory rule: expand smem and re-run dCheck (section IV-C).
+
+        The stream's protocol state survives the migration: Rid/Sid and any
+        records pushed-but-not-executed are carried into the fresh ring.  A
+        zeroed header would let a later ``stream_check`` pass spuriously
+        (Rid == Sid == 0) even with submitted-but-unexecuted work.
+        """
         channel = self._channel
         extra_pages = max(1, (need_bytes + 4) // PAGE_SIZE + 1)
         old_pages = self.smem_pages()
+        old_rid, old_sid = self.ring.rid, self.ring.sid
+        pending = []
+        while True:
+            record = self.ring.pop()
+            if record is None:
+                break
+            pending.append(record)
         if self.grant is not None:
             channel._spm.reclaim_grant(self.grant)
         channel.caller.mos.shim.free_pages(old_pages)
         self.grant, self.ring, self.mailbox_base = self._setup_smem(
             len(old_pages) - self.MAILBOX_PAGES + extra_pages
         )
+        for record in pending:
+            self.ring.push(record)
+        self.ring.set_indices(old_rid, old_sid)
         self._dcheck()
 
     def smem_pages(self) -> Tuple[int, ...]:

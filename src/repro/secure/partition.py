@@ -14,6 +14,9 @@ from typing import Optional, TYPE_CHECKING
 from repro.hw.memory import PAGE_SIZE, PhysicalMemory, SECURE_WORLD
 from repro.hw.pagetable import PageFault, PageTable
 
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+_PAGE_MASK = PAGE_SIZE - 1
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hw.devices import Device
     from repro.secure.spm import SPM
@@ -57,18 +60,71 @@ class Partition:
         self._memory = memory
         self._spm = spm
         self.restarts = 0
+        # Direct reference to the stage-2 TLB dict: the fast lanes below
+        # probe it without a method call.  The dict object is stable for
+        # the partition's lifetime (flush/shoot-down mutate it in place).
+        self._tlb = self.stage2._tlb
+        # Hot-path counters (host-speed observability, see docs/costmodel.md).
+        self.fast_accesses = 0
+        self.slow_accesses = 0
 
     # -- memory access (the only path mEnclaves have to DRAM) -----------
+    # Small accesses that stay within one page — ring-buffer headers,
+    # length prefixes, mailbox words — take a fast lane that performs one
+    # stage-2 translation (TLB-cached) and one single-page memory access.
+    # Trap semantics are bit-identical to the span loop: the state check
+    # runs first, and an invalidated translation still reaches the SPM's
+    # trap handler.  Simulated time is unaffected (translation charges no
+    # clock; costs are charged at the sRPC layer).
     def read(self, ipa: int, length: int) -> bytes:
         """Read guest-physical memory through the stage-2 table."""
-        return self._access(ipa, length, data=None)
+        page = ipa >> _PAGE_SHIFT
+        start = ipa & _PAGE_MASK
+        if length <= 0 or start + length > PAGE_SIZE:
+            # Zero-length reads never walked the table; keep that behaviour.
+            return self._access(ipa, length, data=None)
+        if self.state is not PartitionState.READY:
+            raise PeerFailedSignal(self.name, page=0)
+        self.fast_accesses += 1
+        phys_page = self._tlb.get((page, False))
+        if phys_page is None:
+            phys_page = self._translate_trapping(page, write=False)
+        else:
+            self.stage2.tlb_hits += 1
+        chunk = self._memory.page_view(phys_page)
+        return bytes(memoryview(chunk)[start : start + length])
 
     def write(self, ipa: int, data: bytes) -> None:
         """Write guest-physical memory through the stage-2 table."""
-        self._access(ipa, len(data), data=data)
+        page = ipa >> _PAGE_SHIFT
+        start = ipa & _PAGE_MASK
+        if not data or start + len(data) > PAGE_SIZE:
+            self._access(ipa, len(data), data=data)
+            return
+        if self.state is not PartitionState.READY:
+            raise PeerFailedSignal(self.name, page=0)
+        self.fast_accesses += 1
+        phys_page = self._tlb.get((page, True))
+        if phys_page is None:
+            phys_page = self._translate_trapping(page, write=True)
+        else:
+            self.stage2.tlb_hits += 1
+        chunk = self._memory.page_view(phys_page)
+        chunk[start : start + len(data)] = data
+
+    def _translate_trapping(self, page: int, *, write: bool) -> int:
+        """TLB-miss path: full table walk, converting an invalidated-entry
+        fault into the SPM's peer-failed signal (proceed-trap step 3)."""
+        try:
+            return self.stage2.translate(page, write=write)
+        except PageFault as fault:
+            if fault.invalidated:
+                raise self._spm.handle_shared_memory_trap(self, page) from fault
+            raise
 
     def _access(self, ipa: int, length: int, data: Optional[bytes]):
         self._require_ready()
+        self.slow_accesses += 1
         out = bytearray() if data is None else None
         offset = 0
         while offset < length:

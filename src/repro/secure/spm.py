@@ -197,6 +197,10 @@ class SPM:
             if self._page_shared(page):
                 raise SPMError(f"page {page:#x} already shared (share-once rule)")
         costs = self._platform.costs
+        # Stage-2 and SMMU TLB shoot-down is implicit: PageTable.map /
+        # unmap / invalidate / revalidate each evict the affected cached
+        # lines in the table they mutate, so sharing, reclaiming and
+        # failure invalidation keep both partitions' TLBs coherent.
         for page in pages:
             peer.stage2.map(page, page, PagePermission.RW, shared_with=owner.name)
             owner_entry = owner.stage2.entry(page)
@@ -393,6 +397,12 @@ class SPM:
         reload_us = costs.mos_reload_us
         if advance_clock:
             self._platform.clock.advance(clear_us + reload_us)
+        # Full TLB flush on reload: the reborn mOS re-walks its stage-2
+        # table (and its device re-walks the SMMU) from scratch.  Per-page
+        # shoot-downs already covered the individual invalidate/unmap calls
+        # above; the flush models the hardware-mandated flush at reload.
+        partition.stage2.flush()
+        self._platform.smmu.table_for(partition.device.name).flush()
         partition.mark_ready()  # r_f = 0
         self._platform.tracer.emit(
             "spm", "recovery-reload",

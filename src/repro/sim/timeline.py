@@ -23,13 +23,23 @@ from repro.sim.clock import SimClock
 class Timeline:
     """Sequential worker running concurrently with the submitting clock."""
 
-    def __init__(self, clock: SimClock, name: str = "timeline") -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        name: str = "timeline",
+        *,
+        record_completions: bool = False,
+    ) -> None:
         self._clock = clock
         self.name = name
         self._available_at = clock.now
         self._busy_us = 0.0
         self._submitted = 0
-        self._completed_log: List[float] = []
+        # Completion-time logging is opt-in: long-lived timelines (sRPC
+        # consumers, GPU streams) see millions of submits, and an unbounded
+        # log would grow without limit.  Metrics that need the instants pass
+        # ``record_completions=True``.
+        self._completed_log: Optional[List[float]] = [] if record_completions else None
 
     @property
     def available_at(self) -> float:
@@ -60,7 +70,8 @@ class Timeline:
         self._available_at = start + duration_us
         self._busy_us += duration_us
         self._submitted += 1
-        self._completed_log.append(self._available_at)
+        if self._completed_log is not None:
+            self._completed_log.append(self._available_at)
         return self._available_at
 
     def join(self) -> float:
@@ -72,8 +83,9 @@ class Timeline:
         return self._available_at - self._clock.now
 
     def completion_times(self) -> List[float]:
-        """Completion instants of every submitted operation (for metrics)."""
-        return list(self._completed_log)
+        """Completion instants of every submitted operation (empty unless
+        the timeline was created with ``record_completions=True``)."""
+        return list(self._completed_log) if self._completed_log is not None else []
 
     def reset(self) -> None:
         """Forget pending work; used when a stream is torn down on failure."""

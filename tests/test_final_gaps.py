@@ -12,10 +12,18 @@ from repro.sim import SimClock, Timeline
 
 class TestTimelineIntrospection:
     def test_completion_times_recorded(self):
-        timeline = Timeline(SimClock())
+        timeline = Timeline(SimClock(), record_completions=True)
         timeline.submit(2.0)
         timeline.submit(3.0)
         assert timeline.completion_times() == [2.0, 5.0]
+
+    def test_completion_times_opt_in(self):
+        """Without opt-in the log stays empty (bounded memory on hot
+        timelines), while submit accounting is unaffected."""
+        timeline = Timeline(SimClock())
+        timeline.submit(2.0)
+        assert timeline.completion_times() == []
+        assert timeline.submitted == 1
 
     def test_idle_gap(self):
         clock = SimClock()

@@ -83,6 +83,26 @@ class TestSharedRingBuffer:
         with pytest.raises(RingBufferError, match="contiguous"):
             SharedRingBuffer(cpu.partition, cpu.partition, (pages[0], pages[2]))
 
+    def test_header_mirrors_write_through(self, cronus):
+        """The host-side header mirrors are write-through: shared memory
+        stays the ground truth (rid/sid/head read back from DRAM)."""
+        ring = self._ring(cronus)
+        ring.push(b"abc")
+        # Read the producer-owned header half straight from memory.
+        raw = cronus.moses["cpu0"].partition.read(ring._base, 32)
+        head, sid, rid, tail = (
+            int.from_bytes(raw[i : i + 8], "big") for i in range(0, 32, 8)
+        )
+        assert rid == 1 and sid == 0 and head == 0 and tail == 7
+        ring.pop()
+        ring.bump_sid()
+        raw = cronus.moses["cpu0"].partition.read(ring._base, 32)
+        head, sid, rid, tail = (
+            int.from_bytes(raw[i : i + 8], "big") for i in range(0, 32, 8)
+        )
+        assert rid == 1 and sid == 1 and head == 7 and tail == 7
+        assert ring.stats["header_writebacks"] == 3  # push, pop, bump_sid
+
     @given(st.lists(st.binary(min_size=1, max_size=400), min_size=1, max_size=40))
     @settings(max_examples=20, deadline=None)
     def test_fifo_order_preserved(self, records):
@@ -164,6 +184,39 @@ class TestSRPCChannel:
         out = channel.call("cudaMemcpyD2H", a)
         assert np.array_equal(out, big)
         channel.close()
+
+    def test_expand_smem_carries_rid_sid(self, cronus):
+        """The fresh ring after smem expansion must not reset Rid/Sid: a
+        zeroed header would let stream_check() pass spuriously.  The prior
+        calls' indices carry into the expanded ring."""
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee, ring_pages=1)
+        a = channel.call("cudaMalloc", (4096,))
+        ring_before = channel._ring
+        rid_before = ring_before.rid
+        assert rid_before > 0  # prior traffic on the stream
+        big = np.arange(4096, dtype=np.float32)  # forces _expand_smem
+        channel.call("cudaMemcpyH2D", a, big)
+        ring_after = channel._ring
+        assert ring_after is not ring_before
+        # Rid advanced past the pre-expansion count (carried, not reset),
+        # and the executed stream still passes streamCheck honestly.
+        assert ring_after.rid > rid_before
+        assert ring_after.sid == ring_after.rid
+        channel.close()
+
+    def test_expand_smem_carries_pending_records(self, cronus):
+        """Records pushed but not yet executed survive ring migration."""
+        cpu = cronus.moses["cpu0"]
+        gpu = cronus.moses["gpu0"]
+        app, caller, callee = _cpu_pair(cronus)
+        channel = app.open_channel(caller, callee, ring_pages=1)
+        stream = channel.stream(0)
+        # Simulate a backlog: one record in flight when expansion hits.
+        stream.ring.push(b"pending-record")
+        stream._expand_smem(8192)
+        assert stream.ring.rid == 1
+        assert stream.ring.pop() == b"pending-record"
 
     def test_stream_reuse_spawns_thread_once(self, cronus):
         app, caller, callee = _cpu_pair(cronus)

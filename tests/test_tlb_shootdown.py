@@ -1,0 +1,205 @@
+"""Stage-2 TLB correctness: shoot-down, flush, and fast-lane equivalence.
+
+The translation cache added to :class:`~repro.hw.pagetable.PageTable` is a
+host-speed optimization; these tests pin down the property that makes it
+safe: a cached translation is *never* served after the backing entry is
+invalidated, unmapped, or remapped.  An SPM invalidation during failover
+must trap the very next access even with a warm TLB (paper section IV-D's
+proceed-trap protocol depends on it).
+"""
+
+import pytest
+
+from repro.hw.devices import Device, MMIORegion
+from repro.hw.memory import PAGE_SIZE
+from repro.hw.pagetable import PageFault, PagePermission, PageTable
+from repro.hw.platform import Platform
+from repro.secure.monitor import SecureMonitor
+from repro.secure.partition import PeerFailedSignal
+from repro.secure.spm import SPM
+
+
+def _booted_pair():
+    platform = Platform()
+    vendor = platform.register_vendor("nvidia")
+    dev_a = Device("dev-a", mmio=MMIORegion(0x1000, 0x100), irq=4, vendor=vendor,
+                   memory_bytes=1 << 20)
+    dev_b = Device("dev-b", mmio=MMIORegion(0x2000, 0x100), irq=5, vendor=vendor,
+                   memory_bytes=1 << 20)
+    platform.attach_device(dev_a)
+    platform.attach_device(dev_b)
+    monitor = SecureMonitor(platform)
+    monitor.boot(platform.build_device_tree())
+    spm = SPM(platform, monitor)
+    part_a = spm.create_partition("part-a", dev_a)
+    part_b = spm.create_partition("part-b", dev_b)
+    return spm, part_a, part_b
+
+
+class TestTableLevelTLB:
+    def test_hit_after_miss(self):
+        table = PageTable("t")
+        table.map(5, 42)
+        assert table.translate(5) == 42  # miss fills
+        assert table.translate(5) == 42  # hit
+        assert table.tlb_stats["hits"] == 1
+        assert table.tlb_stats["misses"] == 1
+
+    def test_invalidate_shoots_down_cached_line(self):
+        table = PageTable("t")
+        table.map(5, 42)
+        table.translate(5)
+        table.translate(5, write=True)  # both ways cached
+        assert table.invalidate(5)
+        assert table.tlb_stats["shootdowns"] == 1
+        with pytest.raises(PageFault) as exc:
+            table.translate(5)
+        assert exc.value.invalidated
+        with pytest.raises(PageFault):
+            table.translate(5, write=True)
+
+    def test_unmap_shoots_down_cached_line(self):
+        table = PageTable("t")
+        table.map(5, 42)
+        table.translate(5)
+        table.unmap(5)
+        with pytest.raises(PageFault) as exc:
+            table.translate(5)
+        assert not exc.value.invalidated  # never-mapped, not invalidated
+
+    def test_flush_on_remap_returns_fresh_physical_pages(self):
+        table = PageTable("t")
+        table.map(5, 42)
+        assert table.translate(5) == 42
+        table.unmap(5)
+        table.map(5, 99)  # remap to a different frame
+        assert table.translate(5) == 99
+        # And an explicit full flush also forces a re-walk.
+        table.flush()
+        assert table.tlb_stats["cached"] == 0
+        assert table.translate(5) == 99
+        assert table.tlb_stats["flushes"] == 1
+
+    def test_revalidate_shoots_down_cached_line(self):
+        table = PageTable("t")
+        table.map(5, 42)
+        table.translate(5)
+        table.invalidate(5)
+        table.revalidate(5, 77, PagePermission.RW)
+        assert table.translate(5) == 77
+
+    def test_permission_fault_not_cached(self):
+        table = PageTable("t")
+        table.map(5, 42, PagePermission.R)
+        assert table.translate(5) == 42
+        with pytest.raises(PageFault):
+            table.translate(5, write=True)
+        # The read way stays cached; the write way never fills.
+        assert table.translate(5) == 42
+
+
+class TestWarmTLBFailoverTrap:
+    def test_spm_invalidation_traps_warm_survivor_access(self):
+        """The acceptance-criterion scenario: warm the survivor's TLB on a
+        shared page, fail the peer, and require the very next access to
+        raise PeerFailedSignal — no stale-TLB data leak."""
+        spm, part_a, part_b = _booted_pair()
+        pages = spm.allocate_pages(part_a, 2)
+        spm.share_pages(part_a, part_b, pages)
+        addr = pages[0] * PAGE_SIZE
+        part_a.write(addr, b"secret-before-failure")
+        for _ in range(16):  # warm both partitions' TLBs
+            part_a.read(addr, 21)
+            part_b.read(addr, 21)
+        assert part_a.stage2.tlb_stats["hits"] > 0
+        assert part_b.stage2.tlb_stats["hits"] > 0
+
+        spm.report_panic("part-b")
+        with pytest.raises(PeerFailedSignal) as exc:
+            part_a.read(addr, 21)
+        assert exc.value.peer_partition == "part-b"
+
+    def test_warm_tlb_trap_reaches_fault_with_invalidated_flag(self):
+        """The underlying page fault (cause of the signal) carries
+        invalidated=True even when the TLB was warm before the failure."""
+        spm, part_a, part_b = _booted_pair()
+        pages = spm.allocate_pages(part_a, 1)
+        spm.share_pages(part_a, part_b, pages)
+        addr = pages[0] * PAGE_SIZE
+        part_a.read(addr, 8)  # warm
+        spm.report_panic("part-b")
+        with pytest.raises(PeerFailedSignal) as exc:
+            part_a.read(addr, 8)
+        cause = exc.value.__cause__
+        assert isinstance(cause, PageFault)
+        assert cause.invalidated
+
+    def test_failed_partition_tlb_flushed_on_reload(self):
+        """The reborn partition re-walks its stage-2 table from scratch."""
+        spm, part_a, part_b = _booted_pair()
+        pages = spm.allocate_pages(part_b, 2)
+        part_b.read(pages[0] * PAGE_SIZE, 4)  # warm part-b's TLB
+        spm.report_panic("part-b")
+        assert part_b.stage2.tlb_stats["cached"] == 0
+        assert part_b.stage2.tlb_stats["flushes"] >= 1
+
+    def test_trap_handler_restores_owner_access_with_cold_line(self):
+        """After the trap, the owner's restored mapping resolves freshly
+        (revalidate shot the line down) and reads scrubbed bytes."""
+        spm, part_a, part_b = _booted_pair()
+        pages = spm.allocate_pages(part_a, 1)
+        spm.share_pages(part_a, part_b, pages)
+        addr = pages[0] * PAGE_SIZE
+        part_a.write(addr, b"leak-me")
+        spm.report_panic("part-b")
+        with pytest.raises(PeerFailedSignal):
+            part_a.read(addr, 7)
+        assert part_a.read(addr, 7) == b"\x00" * 7  # restored + scrubbed
+
+    def test_multipage_slow_path_also_traps_warm(self):
+        """Accesses that span pages (the slow span loop) honour the same
+        shoot-down: no path serves stale translations."""
+        spm, part_a, part_b = _booted_pair()
+        pages = spm.allocate_pages(part_a, 2)
+        spm.share_pages(part_a, part_b, pages)
+        addr = pages[0] * PAGE_SIZE
+        span = PAGE_SIZE + 64  # crosses into the second page
+        part_a.write(addr, b"\xab" * span)  # warm via the span loop
+        spm.report_panic("part-b")
+        with pytest.raises(PeerFailedSignal):
+            part_a.read(addr, span)
+
+
+class TestFastLaneEquivalence:
+    def test_single_page_read_write_roundtrip(self):
+        spm, part_a, _ = _booted_pair()
+        pages = spm.allocate_pages(part_a, 2)
+        base = pages[0] * PAGE_SIZE
+        part_a.write(base + 100, b"fast-lane-bytes")
+        assert part_a.read(base + 100, 15) == b"fast-lane-bytes"
+        assert part_a.fast_accesses >= 2
+        assert part_a.slow_accesses == 0
+
+    def test_page_spanning_access_uses_slow_path(self):
+        spm, part_a, _ = _booted_pair()
+        pages = spm.allocate_pages(part_a, 2)
+        base = pages[0] * PAGE_SIZE
+        blob = bytes(range(256)) * 17  # 4352 bytes, spans both pages
+        part_a.write(base, blob)
+        assert part_a.read(base, len(blob)) == blob
+        assert part_a.slow_accesses >= 2
+
+    def test_fast_lane_respects_partition_state(self):
+        spm, part_a, _ = _booted_pair()
+        pages = spm.allocate_pages(part_a, 1)
+        part_a.mark_failed()
+        with pytest.raises(PeerFailedSignal):
+            part_a.read(pages[0] * PAGE_SIZE, 4)
+        with pytest.raises(PeerFailedSignal):
+            part_a.write(pages[0] * PAGE_SIZE, b"x")
+
+    def test_unmapped_page_faults_in_fast_lane(self):
+        spm, part_a, _ = _booted_pair()
+        with pytest.raises(PageFault) as exc:
+            part_a.read(0x7000_0000, 4)
+        assert not exc.value.invalidated
