@@ -1,0 +1,66 @@
+"""The full seeded fault-injection campaign (acceptance run).
+
+Fifty plans — crashes on the sRPC data path, hangs, drops, duplicates,
+corruption, reordering, crash-during-recovery, crash-at-share and clean
+controls — each run the figure-9 failover workload on a fresh system with
+every fault-isolation invariant checked afterwards.  The campaign is run
+*twice* and must replay byte-identically (same master seed, same pass/fail
+matrix): the determinism half of the acceptance criterion.
+
+Deselected from tier-1 (50 fresh systems take a while); run with::
+
+    pytest -m faults benchmarks/bench_faults.py
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.faults import run_campaign
+
+MASTER_SEED = 2022  # the paper's year; any seed must pass
+PLAN_COUNT = 50
+
+
+@pytest.mark.faults
+def test_full_campaign_green_and_deterministic(benchmark, record_table):
+    result = run_once(benchmark, lambda: run_campaign(seed=MASTER_SEED, count=PLAN_COUNT))
+
+    assert len(result.results) == PLAN_COUNT
+    assert result.passed, result.matrix()
+
+    # Every injection family actually exercised the stack.
+    hits = result.site_hits()
+    for site in (
+        "srpc.enqueue",
+        "srpc.drain",
+        "ring.push",
+        "ring.pop",
+        "partition.read",
+        "partition.write",
+        "mos.tick",
+        "spm.share.commit",
+        "spm.recover.proceed",
+        "spm.recover.reload",
+    ):
+        assert hits.get(site, 0) > 0, f"site {site} never hit"
+    crashes = sum(len(r.crashes) for r in result.results)
+    recoveries = sum(r.recoveries for r in result.results)
+    assert crashes > 0 and recoveries >= crashes
+
+    # Determinism: an independent replay of the same master seed produces
+    # the identical matrix, byte for byte.
+    replay = run_campaign(seed=MASTER_SEED, count=PLAN_COUNT)
+    assert replay.fingerprint() == result.fingerprint()
+    assert replay.matrix() == result.matrix()
+
+    benchmark.extra_info["plans"] = PLAN_COUNT
+    benchmark.extra_info["crashes"] = crashes
+    benchmark.extra_info["recoveries"] = recoveries
+    benchmark.extra_info["fingerprint"] = result.fingerprint()[:16]
+
+    summary = (
+        f"master seed = {MASTER_SEED}, plans = {PLAN_COUNT}, "
+        f"crashes = {crashes}, recoveries = {recoveries}; "
+        f"replay fingerprint = {result.fingerprint()[:16]} (identical)\n\n"
+    )
+    record_table("fault_campaign", summary + result.matrix())

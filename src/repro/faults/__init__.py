@@ -1,32 +1,53 @@
 """Fault injection, recovery orchestration, and application-data recovery.
 
+* :mod:`repro.faults.injector` — deterministic, seeded fault injection
+  through named sites threaded through the stack.
+* :mod:`repro.faults.campaign` — campaign runner: execute a workload under
+  N fault plans and check the paper's fault-isolation invariants.
 * :mod:`repro.faults.failover` — the figure 9 two-task crash experiment.
 * :mod:`repro.faults.watchdog` — SPM hang detection (failure circumstance
   3 of section IV-D).
 * :mod:`repro.faults.checkpoint` — sealed application-data checkpoints
   with rollback detection (the section III-B integration hook).
+
+The re-exports below are lazy (PEP 562): low-level modules (ring buffer,
+partition, SPM) hook into :mod:`repro.faults.injector`, and an eager
+package ``__init__`` would drag the whole system stack into their import
+graph and create a cycle.
 """
 
-from repro.faults.checkpoint import (
-    CheckpointError,
-    CheckpointManager,
-    CheckpointStore,
-    RollbackError,
-)
-from repro.faults.failover import (
-    FailoverResult,
-    FailoverTask,
-    run_failover_experiment,
-)
-from repro.faults.watchdog import Watchdog
+from __future__ import annotations
 
-__all__ = [
-    "FailoverResult",
-    "FailoverTask",
-    "run_failover_experiment",
-    "Watchdog",
-    "CheckpointManager",
-    "CheckpointStore",
-    "CheckpointError",
-    "RollbackError",
-]
+_EXPORTS = {
+    "CheckpointError": "repro.faults.checkpoint",
+    "CheckpointManager": "repro.faults.checkpoint",
+    "CheckpointStore": "repro.faults.checkpoint",
+    "RollbackError": "repro.faults.checkpoint",
+    "FailoverResult": "repro.faults.failover",
+    "FailoverTask": "repro.faults.failover",
+    "run_failover_experiment": "repro.faults.failover",
+    "Watchdog": "repro.faults.watchdog",
+    "FaultInjector": "repro.faults.injector",
+    "FaultPlan": "repro.faults.injector",
+    "FaultPlanError": "repro.faults.injector",
+    "FaultRule": "repro.faults.injector",
+    "CampaignResult": "repro.faults.campaign",
+    "PlanResult": "repro.faults.campaign",
+    "generate_plans": "repro.faults.campaign",
+    "run_campaign": "repro.faults.campaign",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

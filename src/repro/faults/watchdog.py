@@ -43,6 +43,23 @@ class Watchdog:
             if mos is not None:
                 mos.manager.destroy_all()
             reports.append(spm.report_panic(name, background=background))
-        self._last_sample = spm.heartbeat_snapshot()
+            if mos is not None:
+                # The reloaded mOS's first heartbeat, observed by the
+                # watchdog as reload confirmation.  Without it a recovered
+                # partition that stays idle would be re-flagged hung on the
+                # very next scan despite a successful reload.
+                mos.tick()
+        # Baseline for the next period is the sample this scan judged
+        # against; only the recovered partitions are re-sampled (their
+        # reload heartbeat above must not count as interval progress).  A
+        # full re-sample here would fold heartbeats arriving during
+        # recovery into every partition's baseline, so a partition that
+        # hangs again right after reload would need two full intervals to
+        # be detected instead of one.
+        self._last_sample = current
+        if reports:
+            refreshed = spm.heartbeat_snapshot()
+            for report in reports:
+                self._last_sample[report.partition] = refreshed.get(report.partition, 0)
         self.recoveries.extend(reports)
         return reports

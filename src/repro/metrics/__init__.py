@@ -1,10 +1,18 @@
 """Measurement and reporting helpers for the benchmark harness."""
 
-from repro.metrics.report import counters_table, format_table, normalize
+from repro.metrics.report import (
+    campaign_matrix,
+    counters_table,
+    format_table,
+    normalize,
+    site_hit_table,
+)
 from repro.metrics.tcb import TCB_GROUPS, loc_of_modules, tcb_report
 from repro.metrics.trace import TraceEvent, Tracer
 
 __all__ = [
+    "campaign_matrix",
+    "site_hit_table",
     "counters_table",
     "format_table",
     "normalize",

@@ -3,7 +3,7 @@ regenerated rows/series can be compared against the paper's figures."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -41,3 +41,31 @@ def counters_table(counters: Mapping[str, Mapping[str, object]]) -> str:
         for name, value in layer_counters.items()
     ]
     return format_table(["layer", "counter", "value"], rows)
+
+
+def campaign_matrix(results: Iterable[object]) -> str:
+    """The fault-campaign pass/fail matrix: one row per executed plan.
+
+    Each result provides ``name``, ``seed``, ``description``, ``passed``
+    and ``violations`` (see :class:`repro.faults.campaign.PlanResult`).
+    The rendered text is deterministic for a deterministic campaign, so
+    two runs with the same master seed produce byte-identical matrices.
+    """
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.name,
+                r.seed,
+                r.description,
+                "PASS" if r.passed else "FAIL",
+                "; ".join(r.violations) if r.violations else "-",
+            ]
+        )
+    return format_table(["plan", "seed", "faults", "verdict", "violations"], rows)
+
+
+def site_hit_table(site_hits: Mapping[str, int]) -> str:
+    """Aggregated per-site injection hit counters across a campaign."""
+    rows = [[site, hits] for site, hits in sorted(site_hits.items())]
+    return format_table(["site", "hits"], rows)

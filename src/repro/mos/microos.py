@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults import injector as _faults
 from repro.hw.platform import Platform
 from repro.mos.hal import hal_for_device
 from repro.mos.manager import EnclaveManager
@@ -49,6 +50,12 @@ class MicroOS:
 
     def tick(self) -> None:
         """Heartbeat to the SPM watchdog (hang detection)."""
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire("mos.tick", default_target=self.partition.device.name)
+            if _faults.ACTIVE.is_hung(self.partition.device.name):
+                # An injected hang: the mOS spins and its heartbeat stops;
+                # the watchdog must notice within one interval.
+                return
         self.spm.heartbeat(self.partition.name)
 
     def __repr__(self) -> str:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.faults import injector as _faults
 from repro.hw.memory import PAGE_SIZE
 from repro.secure.partition import Partition, PeerFailedSignal
 
@@ -110,6 +111,10 @@ class SpinLock:
 
     def try_acquire(self) -> bool:
         """One CAS attempt; may raise :class:`PeerFailedSignal`."""
+        if _faults.ACTIVE is not None:
+            # A crash fired mid-spin is the A2 deadlock scenario: the next
+            # CAS below must trap (PeerFailedSignal), never spin forever.
+            _faults.ACTIVE.fire("shim.spin", default_target=self._partition.device.name)
         current = self._partition.read(self._address, 1)
         if current != b"\x00":
             return False

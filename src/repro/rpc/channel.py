@@ -32,9 +32,12 @@ from typing import Any, Dict, Optional, Tuple
 from repro.crypto.dh import mac_valid
 from repro.enclave.menclave import MEnclave
 from repro.enclave.models import ExecutionError
+from repro.faults import injector as _faults
 from repro.hw.memory import PAGE_SIZE
+from repro.hw.pagetable import PageFault
 from repro.rpc.ringbuffer import RingBufferError, SharedRingBuffer
-from repro.secure.partition import Partition, PeerFailedSignal
+from repro.secure.partition import Partition, PartitionState, PeerFailedSignal
+from repro.secure.spm import SPMError
 from repro.sim import Timeline
 
 
@@ -70,6 +73,11 @@ class _Stream:
     def __init__(self, channel: "SRPCChannel", stream_id: int, ring_pages: int) -> None:
         self._channel = channel
         self.stream_id = stream_id
+        # Baseline for detecting a peer crash (even crash + background
+        # recovery) between enqueue and drain: a restart scrubs the ring,
+        # which must surface as SRPCPeerFailure, not stream corruption.
+        self._peer_restarts = channel.callee.partition.restarts
+        self._reorder_hold: Optional[bytes] = None
         self.grant, self.ring, self.mailbox_base = self._setup_smem(ring_pages)
         self._dcheck()
         self.consumer = Timeline(
@@ -125,18 +133,63 @@ class _Stream:
             self._channel._platform.clock.advance(costs.thread_spawn_us)
             self.thread_started = True
         self._channel._platform.clock.advance(costs.srpc_enqueue_us(len(record)))
+        duplicate = False
+        if _faults.ACTIVE is not None:
+            act = _faults.ACTIVE.fire(
+                "srpc.enqueue", default_target=self._peer_device_name()
+            )
+            if act is not None:
+                if act.action == _faults.DROP:
+                    return
+                if act.action == _faults.CORRUPT:
+                    record = act.mangle(record)
+                elif act.action == _faults.DUPLICATE:
+                    duplicate = True
+                elif act.action == _faults.REORDER:
+                    # Hold this record; it rides behind the next enqueue.
+                    self._reorder_hold = record
+                    return
+        self._push_ring(record)
+        if duplicate:
+            self._push_ring(record)
+        if self._reorder_hold is not None:
+            held, self._reorder_hold = self._reorder_hold, None
+            self._push_ring(held)
+
+    def _push_ring(self, record: bytes) -> None:
         try:
             self.ring.push(record)
         except RingBufferError:
             self._expand_smem(len(record))
             self.ring.push(record)
 
+    def _peer_device_name(self) -> str:
+        return self._channel.callee.partition.device.name
+
     def drain_one(self) -> Any:
         """The consumer execution loop body: fetch, execute, bump Sid."""
-        record = self.ring.pop()
+        try:
+            record = self.ring.pop()
+        except (RingBufferError, PageFault) as exc:
+            # A PageFault here means the ring page vanished from the
+            # consumer's stage-2 table outright (a peer recovery unmapped
+            # it) rather than being invalidated — same diagnosis applies.
+            self._raise_drain_failure(str(exc), cause=exc)
+        if record is not None and _faults.ACTIVE is not None:
+            act = _faults.ACTIVE.fire(
+                "srpc.drain", default_target=self._peer_device_name()
+            )
+            if act is not None:
+                if act.action == _faults.DROP:
+                    record = None
+                elif act.action == _faults.CORRUPT:
+                    record = act.mangle(record)
         if record is None:
-            raise ChannelError("consumer found an empty ring (corrupt stream)")
-        fn, args, kwargs = pickle.loads(record)
+            self._raise_drain_failure("consumer found an empty ring", cause=None)
+        try:
+            fn, args, kwargs = pickle.loads(record)
+        except Exception as exc:  # unpickling garbage raises a zoo of types
+            self._raise_drain_failure(f"undecodable record ({exc!r})", cause=exc)
         costs = self._channel._platform.costs
         self.consumer.submit(
             costs.enclave_entry_us
@@ -145,6 +198,27 @@ class _Stream:
         result = self._channel.callee.enclave.mecall_trusted(fn, args, kwargs)
         self.ring.bump_sid()
         return result
+
+    def _peer_failed_mid_stream(self) -> bool:
+        """Did the callee's partition fail (or fail *and* recover) since
+        this stream was set up?  A background recovery leaves the
+        partition READY again but scrubs the shared ring, so the restart
+        counter — not just the state — is part of the check."""
+        peer = self._channel.callee.partition
+        return (
+            peer.state is not PartitionState.READY
+            or peer.restarts != self._peer_restarts
+        )
+
+    def _raise_drain_failure(self, reason: str, *, cause: Optional[BaseException]) -> None:
+        """An unreadable ring means either genuine stream corruption or a
+        peer crash mid-stream (the crash scrubbed/zeroed the shared pages).
+        The latter must surface as the peer-failure signal so callers take
+        the failover path instead of treating it as a protocol bug."""
+        if self._peer_failed_mid_stream():
+            peer = self._channel.callee.partition
+            raise PeerFailedSignal(peer.name, page=self.ring._pages[0]) from cause
+        raise ChannelError(f"{reason} (corrupt stream)") from cause
 
     def read_mailbox_result(self, result: Any) -> Any:
         """Synchronous results travel back through the trusted mailbox."""
@@ -187,9 +261,29 @@ class _Stream:
         if self.grant is not None:
             channel._spm.reclaim_grant(self.grant)
         channel.caller.mos.shim.free_pages(old_pages)
-        self.grant, self.ring, self.mailbox_base = self._setup_smem(
-            len(old_pages) - self.MAILBOX_PAGES + extra_pages
-        )
+        if _faults.ACTIVE is not None:
+            # The expansion's most fragile instant: the old ring is torn
+            # down and scrubbed, the new one not yet shared.  A peer crash
+            # fired here must surface as a peer failure (below), with the
+            # pending records neither lost silently nor replayed.
+            _faults.ACTIVE.fire(
+                "srpc.expand", default_target=self._peer_device_name()
+            )
+        try:
+            self.grant, self.ring, self.mailbox_base = self._setup_smem(
+                len(old_pages) - self.MAILBOX_PAGES + extra_pages
+            )
+        except SPMError as exc:
+            if self._peer_failed_mid_stream():
+                # The peer died between tearing down the old ring and
+                # sharing the new one.  The old pages are already freed and
+                # scrubbed, the pending records travel nowhere: surface the
+                # peer failure so the caller resubmits (no loss is silent,
+                # and a recovered peer can never replay the records).
+                raise PeerFailedSignal(
+                    channel.callee.partition.name, page=old_pages[0]
+                ) from exc
+            raise
         for record in pending:
             self.ring.push(record)
         self.ring.set_indices(old_rid, old_sid)
@@ -209,8 +303,11 @@ class _Stream:
             channel._spm.reclaim_grant(self.grant)
         try:
             channel.caller.mos.shim.free_pages(self.smem_pages())
-        except Exception:
-            pass  # pages may already be reclaimed after a failure
+        except (SPMError, PeerFailedSignal):
+            # Expected after a failure: the pages were already reclaimed by
+            # the recovery path, or the owner is mid-recovery.  Anything
+            # else (a genuine bug) propagates to the caller.
+            channel.reclaim_errors += 1
 
 
 class SRPCChannel:
@@ -238,6 +335,8 @@ class SRPCChannel:
         self._closed = False
         self.calls_streamed = 0
         self.sync_points = 0
+        self.reclaim_errors = 0
+        """Swallowed-but-expected smem reclaim failures (see release)."""
 
         self._attest_peer(expected_measurement)
         self._streams: Dict[int, _Stream] = {0: _Stream(self, 0, ring_pages)}
@@ -331,12 +430,24 @@ class SRPCChannel:
             self._spm.reclaim_grant(stream.grant)
         try:
             self.caller.mos.shim.free_pages(pages)
-        except Exception:
-            pass  # the caller's own partition may be mid-recovery
+        except (SPMError, PeerFailedSignal):
+            # The caller's own partition may be mid-recovery, or recovery
+            # already returned the pages; other errors are real bugs.
+            self.reclaim_errors += 1
 
     @property
     def failed(self) -> bool:
         return self._failed_peer is not None
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Channel counters for the metrics report (``counters_table``)."""
+        return {
+            "calls_streamed": self.calls_streamed,
+            "sync_points": self.sync_points,
+            "streams": len(self._streams),
+            "reclaim_errors": self.reclaim_errors,
+        }
 
     def _require_usable(self) -> None:
         if self._closed:

@@ -30,8 +30,9 @@ import struct
 from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
+from repro.faults import injector as _faults
 from repro.hw.memory import PAGE_SIZE
-from repro.secure.partition import Partition
+from repro.secure.partition import Partition, PartitionState, PeerFailedSignal
 
 _HEADER = 32
 _U64 = 8
@@ -142,6 +143,17 @@ class SharedRingBuffer:
         channel responds by expanding smem (with a fresh dCheck), per the
         paper's out-of-memory rule.
         """
+        if _faults.ACTIVE is not None:
+            act = self._fire_ring_site("ring.push", self._producer)
+            if act is not None:
+                if act.action == _faults.DROP:
+                    # The record is lost in flight: Rid does not move, the
+                    # consumer later finds an empty ring and must detect it.
+                    return self._rid
+                if act.action == _faults.CORRUPT:
+                    record = act.mangle(record)
+                elif act.action == _faults.DUPLICATE:
+                    self.push(record)  # the duplicate counts as its own hit
         need = len(record) + 4
         capacity = self.capacity
         tail = self._tail
@@ -175,6 +187,8 @@ class SharedRingBuffer:
 
     def pop(self) -> Optional[bytes]:
         """Consumer removes the oldest record (None if the ring is empty)."""
+        if _faults.ACTIVE is not None:
+            self._fire_ring_site("ring.pop", self._consumer)
         if self._head == self._tail:
             # Empty by the mirrors — still touch the shared header so an
             # idle consumer polling a torn-down ring traps like it used to.
@@ -208,6 +222,26 @@ class SharedRingBuffer:
         self._consumer.write(self._base + _OFF_HEAD, _PACK_U64.pack(head))
         self.header_writebacks += 1
         return record
+
+    def _fire_ring_site(self, site: str, executing: Partition):
+        """Fire an injection site at a ring operation.
+
+        A crash fired here that takes down the partition *executing* the
+        operation stops its execution on the spot: the interrupted
+        push/pop must not resume against the reloaded stage-2 table (whose
+        mapping of the peer-owned ring page is gone), so it raises the
+        peer-failed signal exactly like a stage-2 trap would.  Detected
+        via the restart counter, which moves even when background recovery
+        has already returned the partition to READY.
+        """
+        restarts = executing.restarts
+        act = _faults.ACTIVE.fire(site, default_target=executing.device.name)
+        if (
+            executing.restarts != restarts
+            or executing.state is not PartitionState.READY
+        ):
+            raise PeerFailedSignal(executing.name, page=self._pages[0])
+        return act
 
     def pending(self) -> int:
         """Records pushed but not yet executed."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, TYPE_CHECKING
 
+from repro.faults import injector as _faults
 from repro.hw.memory import PAGE_SIZE, PhysicalMemory, SECURE_WORLD
 from repro.hw.pagetable import PageFault, PageTable
 
@@ -78,6 +79,10 @@ class Partition:
     # clock; costs are charged at the sRPC layer).
     def read(self, ipa: int, length: int) -> bytes:
         """Read guest-physical memory through the stage-2 table."""
+        if _faults.ACTIVE is not None:
+            # A crash fired here hits exactly at a memory access: the
+            # access below then traps through the real stage-2 machinery.
+            self._fire_access_site("partition.read")
         page = ipa >> _PAGE_SHIFT
         start = ipa & _PAGE_MASK
         if length <= 0 or start + length > PAGE_SIZE:
@@ -96,6 +101,8 @@ class Partition:
 
     def write(self, ipa: int, data: bytes) -> None:
         """Write guest-physical memory through the stage-2 table."""
+        if _faults.ACTIVE is not None:
+            self._fire_access_site("partition.write")
         page = ipa >> _PAGE_SHIFT
         start = ipa & _PAGE_MASK
         if not data or start + len(data) > PAGE_SIZE:
@@ -111,6 +118,21 @@ class Partition:
             self.stage2.tlb_hits += 1
         chunk = self._memory.page_view(phys_page)
         chunk[start : start + len(data)] = data
+
+    def _fire_access_site(self, site: str) -> None:
+        """Fire an injection site at a memory access.
+
+        If the injected crash targets *this* partition, its execution stops
+        at the faulting access — the interrupted operation must not resume
+        against the reloaded partition, so the access raises the peer-failed
+        signal (the caller's channel converts it to ``SRPCPeerFailure``).
+        A restart-counter change detects this even when the background
+        recovery has already returned the partition to READY.
+        """
+        restarts = self.restarts
+        _faults.ACTIVE.fire(site, default_target=self.device.name)
+        if self.restarts != restarts or self.state is not PartitionState.READY:
+            raise PeerFailedSignal(self.name, page=0)
 
     def _translate_trapping(self, page: int, *, write: bool) -> int:
         """TLB-miss path: full table walk, converting an invalidated-entry

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.faults import injector as _faults
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.pagetable import PagePermission
 from repro.hw.platform import Platform
@@ -197,6 +198,15 @@ class SPM:
             if self._page_shared(page):
                 raise SPMError(f"page {page:#x} already shared (share-once rule)")
         costs = self._platform.costs
+        if _faults.ACTIVE is not None:
+            # A crash fired here models a partition dying in the window
+            # between validation and commit; re-check both states so the
+            # share is refused instead of mapping into a failed partition.
+            _faults.ACTIVE.fire("spm.share.commit", default_target=peer.device.name)
+            if owner.state is not PartitionState.READY:
+                raise SPMError(f"owner partition {owner.name!r} failed mid-share")
+            if peer.state is not PartitionState.READY:
+                raise SPMError(f"peer partition {peer.name!r} failed mid-share")
         # Stage-2 and SMMU TLB shoot-down is implicit: PageTable.map /
         # unmap / invalidate / revalidate each evict the affected cached
         # lines in the table they mutate, so sharing, reclaiming and
@@ -212,6 +222,10 @@ class SPM:
             self._platform.clock.advance(costs.stage2_map_us + costs.smmu_update_us)
         grant = ShareGrant(owner=owner.name, peer=peer.name, pages=tuple(pages))
         self._grants.append(grant)
+        if _faults.ACTIVE is not None:
+            # Crash-after-commit: the grant exists, so recovery must find
+            # and invalidate it (the proceed step walks the grant list).
+            _faults.ACTIVE.fire("spm.share.committed", default_target=peer.device.name)
         self._platform.tracer.emit(
             "spm", "share-pages", f"{owner.name}->{peer.name} x{len(pages)}"
         )
@@ -304,9 +318,21 @@ class SPM:
 
     def _recover(self, partition: Partition, *, background: bool = False) -> RecoveryReport:
         proceed_us, s2, smmu = self._proceed(partition)
+        if _faults.ACTIVE is not None:
+            # Crash-during-recovery: a *second* partition may fail while
+            # this one is between proceed and reload (section IV-D's
+            # concurrent-failure case); the nested recovery runs to
+            # completion inside the hook before this one resumes.
+            _faults.ACTIVE.fire(
+                "spm.recover.proceed", default_target=partition.device.name
+            )
         clear_us, reload_us, dev_bytes, scrubbed = self._clear_and_reload(
             partition, advance_clock=not background
         )
+        if _faults.ACTIVE is not None:
+            _faults.ACTIVE.fire(
+                "spm.recover.reload", default_target=partition.device.name
+            )
         return RecoveryReport(
             partition=partition.name,
             invalidated_stage2=s2,

@@ -1,0 +1,358 @@
+"""Fault injection framework: injector semantics, per-site hooks, the
+satellite regressions (reclaim narrowing, drain peer-failure diagnosis,
+watchdog re-baselining, expansion under peer failure) and a quick seeded
+campaign smoke (the full 50-plan campaign runs under ``-m faults``)."""
+
+import numpy as np
+import pytest
+
+from repro.enclave.images import CpuImage, CudaImage
+from repro.enclave.manifest import Manifest, MECallSpec
+from repro.enclave.models import CUDA_MECALLS
+from repro.faults import FaultInjector, FaultPlan, FaultPlanError, FaultRule
+from repro.faults.campaign import FailoverWorkload, generate_plans, run_campaign
+from repro.faults.injector import (
+    CRASH,
+    CORRUPT,
+    DROP,
+    HANG,
+    SITES,
+    TRACE,
+    armed,
+    arm,
+    disarm,
+)
+from repro.faults.watchdog import Watchdog
+from repro.hw.memory import PAGE_SIZE
+from repro.rpc import ChannelError, SRPCPeerFailure
+from repro.secure.partition import PartitionState, PeerFailedSignal
+from repro.secure.spm import SPMError
+
+
+def _gpu_channel(cronus, owner="faults-test"):
+    """A CPU caller enclave streaming into a GPU callee enclave."""
+    app = cronus.application(owner)
+    cpu_image = CpuImage(name="drv", functions={"noop": lambda state: None})
+    cpu_manifest = Manifest(
+        device_type="cpu", images={"drv.so": cpu_image.digest()},
+        mecalls=(MECallSpec("noop"),),
+    )
+    caller = app.create_enclave(cpu_manifest, cpu_image, "drv.so")
+    cuda_image = CudaImage(name="mat", kernels=("vecadd", "matmul"))
+    gpu_manifest = Manifest(
+        device_type="gpu", images={"mat.cubin": cuda_image.digest()},
+        mecalls=CUDA_MECALLS,
+    )
+    callee = app.create_enclave(gpu_manifest, cuda_image, "mat.cubin")
+    return app.open_channel(caller, callee)
+
+
+class TestFaultPlanValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown injection site"):
+            FaultRule(site="srpc.teleport", action=DROP, nth=1)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault action"):
+            FaultRule(site="ring.push", action="explode", nth=1)
+
+    def test_rule_needs_a_trigger(self):
+        with pytest.raises(FaultPlanError, match="nth or prob"):
+            FaultRule(site="ring.push", action=DROP)
+
+    def test_plan_classes(self):
+        corrupting = FaultPlan(seed=1, rules=(FaultRule("ring.push", DROP, nth=1),))
+        crashing = FaultPlan(seed=1, rules=(FaultRule("mos.tick", HANG, nth=1),))
+        assert corrupting.corruption_class and not corrupting.crash_class
+        assert crashing.crash_class and not crashing.corruption_class
+        assert FaultPlan(seed=1, rules=()).describe() == "clean"
+
+
+class TestInjector:
+    def test_nth_trigger_fires_exactly_once(self):
+        plan = FaultPlan(seed=7, rules=(FaultRule("ring.push", DROP, nth=3),))
+        inj = FaultInjector(plan)
+        fired = [inj.fire("ring.push") for _ in range(6)]
+        assert [f is not None for f in fired] == [False, False, True, False, False, False]
+        assert inj.site_hits == {"ring.push": 6}
+        assert inj.fired == [("ring.push", 3, plan.rules[0].describe())]
+
+    def test_prob_trigger_is_seed_deterministic(self):
+        plan = FaultPlan(seed=11, rules=(FaultRule("ring.pop", TRACE, prob=0.3),))
+        schedules = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            schedules.append([inj.fire("ring.pop") is not None for _ in range(50)])
+        assert schedules[0] == schedules[1]
+        assert any(schedules[0]) and not all(schedules[0])
+
+    def test_mangle_is_length_preserving_and_deterministic(self):
+        plan = FaultPlan(seed=5, rules=(FaultRule("ring.push", CORRUPT, nth=1),))
+        data = bytes(range(64))
+        outs = []
+        for _ in range(2):
+            inj = FaultInjector(plan)
+            outs.append(inj.fire("ring.push").mangle(data))
+        assert outs[0] == outs[1]
+        assert len(outs[0]) == len(data) and outs[0] != data
+
+    def test_crash_calls_handler_and_bounds_depth(self):
+        plan = FaultPlan(
+            seed=1,
+            rules=(
+                FaultRule("srpc.enqueue", CRASH, nth=1, target="gpu0"),
+                FaultRule("spm.recover.proceed", CRASH, nth=1, target="gpu1"),
+            ),
+        )
+        crashed = []
+
+        def handler(device):
+            crashed.append(device)
+            # Model recovery re-entering an injected site, recursively.
+            inj.fire("spm.recover.proceed")
+
+        inj = FaultInjector(plan, crash_handler=handler)
+        assert inj.fire("srpc.enqueue") is None  # crash handled internally
+        # gpu0's crash fired gpu1's nested crash; depth 2 cut off anything
+        # deeper, and rule exhaustion (nth=1) prevents re-fires anyway.
+        assert crashed == ["gpu0", "gpu1"]
+
+    def test_hang_bookkeeping(self):
+        plan = FaultPlan(seed=1, rules=(FaultRule("mos.tick", HANG, nth=2, target="npu0"),))
+        inj = FaultInjector(plan)
+        inj.fire("mos.tick")
+        assert not inj.is_hung("npu0")
+        inj.fire("mos.tick")
+        assert inj.is_hung("npu0") and inj.hung == ("npu0",)
+        inj.clear_hang("npu0")
+        assert not inj.is_hung("npu0")
+
+    def test_double_arm_rejected_and_context_disarms(self):
+        plan = FaultPlan(seed=1, rules=())
+        with armed(plan):
+            with pytest.raises(FaultPlanError, match="already armed"):
+                arm(plan)
+        # The context disarmed on exit, so arming again is fine.
+        arm(plan)
+        assert disarm() is not None
+        assert disarm() is None  # disarm is idempotent
+
+
+class TestDisarmedZeroCost:
+    def test_clean_plan_changes_no_timing(self, cronus2gpu):
+        """Armed-but-silent hooks must not move the simulated clock: the
+        same call sequence lands on the identical timestamp either way
+        (the byte-identical-tables guarantee, in miniature)."""
+        from repro.systems import CronusSystem, TestbedConfig
+
+        def workload(system, plan):
+            channel = _gpu_channel(system)
+            if plan is None:
+                a = channel.call("cudaMalloc", (64,))
+                channel.call("cudaMemcpyH2D", a, np.ones(64, dtype=np.float32))
+            else:
+                with armed(plan):
+                    a = channel.call("cudaMalloc", (64,))
+                    channel.call("cudaMemcpyH2D", a, np.ones(64, dtype=np.float32))
+            channel.close()
+            return system.clock.now
+
+        t_disarmed = workload(cronus2gpu, None)
+        t_clean = workload(CronusSystem(TestbedConfig(num_gpus=2)), FaultPlan(seed=9, rules=()))
+        assert t_disarmed == t_clean
+
+
+class TestReclaimNarrowing:
+    """Satellite: stream teardown swallows only *expected* reclaim errors."""
+
+    def test_expected_reclaim_failure_is_counted(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+
+        def failing_free(pages):
+            raise SPMError("pages already reclaimed by recovery")
+
+        channel.caller.mos.shim.free_pages = failing_free
+        cronus.fail_partition("gpu0")
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (16,))
+        assert channel.reclaim_errors == 1
+        assert channel.stats["reclaim_errors"] == 1
+
+    def test_unexpected_reclaim_failure_propagates(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+
+        def buggy_free(pages):
+            raise ValueError("not a reclaim condition")
+
+        channel.caller.mos.shim.free_pages = buggy_free
+        cronus.fail_partition("gpu0")
+        with pytest.raises(ValueError, match="not a reclaim condition"):
+            channel.call("cudaMalloc", (16,))
+        assert channel.reclaim_errors == 0
+
+    def test_release_narrowing(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+
+        def failing_free(pages):
+            raise SPMError("mid-recovery")
+
+        channel.caller.mos.shim.free_pages = failing_free
+        channel.close()
+        assert channel.reclaim_errors == 1
+
+
+class TestDrainPeerFailureDiagnosis:
+    """Satellite: an unreadable/empty ring caused by a peer crash must
+    surface as the peer-failure signal, never as stream corruption."""
+
+    def test_crashed_and_recovered_peer_not_misdiagnosed(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+        stream = channel.stream(0)
+        # Crash + *background* recovery: the peer is READY again (restarts
+        # bumped) but the shared ring was scrubbed out from under the
+        # stream.  The old code reported "empty ring (corrupt stream)".
+        cronus.fail_partition("gpu0", background=True)
+        with pytest.raises(PeerFailedSignal):
+            stream.drain_one()
+
+    def test_full_call_path_raises_srpc_peer_failure(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+        cronus.fail_partition("gpu0", background=True)
+        with pytest.raises(SRPCPeerFailure):
+            channel.call("cudaMalloc", (16,))
+        assert channel.failed
+
+    def test_genuine_empty_ring_still_a_channel_error(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+        stream = channel.stream(0)
+        # Healthy peer, genuinely empty ring: the corruption diagnosis
+        # (and its exception type) must be preserved.
+        with pytest.raises(ChannelError, match="empty ring"):
+            stream.drain_one()
+
+
+class TestExpandUnderPeerFailure:
+    """Satellite: smem expansion interrupted by a peer crash."""
+
+    def _stream_with_backlog(self, cronus):
+        channel = _gpu_channel(cronus)
+        channel.call("cudaMalloc", (16,))
+        stream = channel.stream(0)
+        stream.ring.push(b"pending-record-1")
+        stream.ring.push(b"pending-record-2")
+        return channel, stream
+
+    def test_peer_crash_mid_expansion_surfaces_as_peer_failure(self, cronus):
+        channel, stream = self._stream_with_backlog(cronus)
+        old_pages = stream.smem_pages()
+        plan = FaultPlan(
+            seed=3, rules=(FaultRule("srpc.expand", CRASH, nth=1, target="gpu0"),)
+        )
+
+        def handler(device):
+            cronus.spm.partition(f"part-{device}").mark_failed()
+
+        with armed(plan, crash_handler=handler):
+            with pytest.raises(PeerFailedSignal):
+                stream._expand_smem(8192)
+        # The pending records travelled nowhere — and they are not readable
+        # in the torn-down pages either (scrubbed on reclaim), so a
+        # recovered peer can never observe or replay them.
+        for page in old_pages:
+            raw = cronus.platform.memory.read(page * PAGE_SIZE, PAGE_SIZE)
+            assert not any(raw)
+
+    def test_pending_records_survive_clean_expansion_exactly_once(self, cronus):
+        _, stream = self._stream_with_backlog(cronus)
+        # A TRACE rule exercises the armed path through expansion without
+        # perturbing it: the backlog must come out once each, in order.
+        plan = FaultPlan(
+            seed=4, rules=(FaultRule("srpc.expand", TRACE, nth=1),)
+        )
+        with armed(plan) as inj:
+            stream._expand_smem(8192)
+        assert inj.site_hits["srpc.expand"] == 1
+        assert stream.ring.pop() == b"pending-record-1"
+        assert stream.ring.pop() == b"pending-record-2"
+        assert stream.ring.pop() is None
+
+
+class TestWatchdogBackToBack:
+    """Satellite: re-baselining must not grant a hung partition a free
+    interval — back-to-back hangs are each detected in one interval."""
+
+    def test_back_to_back_hangs_detected_each_interval(self, cronus2gpu):
+        wd = Watchdog(cronus2gpu)
+        live = [m for d, m in cronus2gpu.moses.items() if d != "gpu0"]
+        assert wd.observe() == []  # baseline
+        part = cronus2gpu.spm.partition("part-gpu0")
+        for expected_restarts in (1, 2):
+            for mos in live:
+                mos.tick()  # everyone but gpu0 heartbeats; gpu0 hangs
+            reports = wd.observe(background=True)
+            assert [r.partition for r in reports] == ["part-gpu0"]
+            assert part.restarts == expected_restarts
+        assert len(wd.recoveries) == 2
+
+    def test_live_partition_never_reflagged_by_rebaseline(self, cronus2gpu):
+        wd = Watchdog(cronus2gpu)
+        wd.observe()
+        for mos in cronus2gpu.moses.values():
+            mos.tick()
+        assert wd.observe(background=True) == []
+        # One partition hangs; the others' heartbeats during the recovery
+        # interval must not be folded into a stale baseline.
+        for device, mos in cronus2gpu.moses.items():
+            if device != "gpu1":
+                mos.tick()
+        assert [r.partition for r in wd.observe(background=True)] == ["part-gpu1"]
+        for mos in cronus2gpu.moses.values():
+            mos.tick()
+        assert wd.observe(background=True) == []
+
+
+class TestCampaignQuick:
+    """Tier-1 smoke: a 10-plan campaign covering every fault family.  The
+    full 50-plan acceptance run lives in ``benchmarks/bench_faults.py``
+    behind ``-m faults``."""
+
+    def test_generate_plans_covers_every_family_deterministically(self):
+        plans = generate_plans(0, 10)
+        kinds = {p.name.split("-", 2)[2] for p in plans}
+        assert "clean" in kinds and len(kinds) == 10
+        assert [p.describe() for p in plans] == [
+            p.describe() for p in generate_plans(0, 10)
+        ]
+        for plan in plans:
+            for rule in plan.rules:
+                assert rule.site in SITES
+
+    def test_quick_campaign_all_invariants_green(self):
+        result = run_campaign(seed=0, count=10)
+        assert result.passed, result.matrix()
+        hits = result.site_hits()
+        # The workload exercised the data path, recovery and heartbeats.
+        for site in ("srpc.enqueue", "srpc.drain", "ring.push", "ring.pop",
+                     "partition.read", "partition.write", "mos.tick",
+                     "spm.recover.proceed"):
+            assert hits.get(site, 0) > 0, site
+
+    def test_same_seed_replays_identical_matrix(self):
+        quick = FailoverWorkload(steps=6, settle_steps=4)
+        first = run_campaign(seed=42, count=4, workload=quick)
+        second = run_campaign(seed=42, count=4, workload=quick)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.matrix() == second.matrix()
+
+    def test_clean_plan_fires_nothing(self):
+        plans = [p for p in generate_plans(0, 10) if not p.rules]
+        result = run_campaign(plans)
+        assert result.passed
+        (only,) = result.results
+        assert only.fired == () and only.crashes == ()
