@@ -1,0 +1,128 @@
+"""N-tenant open-loop serving load benchmark (the serving-layer acceptance run).
+
+Four tenants — three offering what they paid for, one noisy tenant at 4x
+its rate limit — drive the multi-tenant frontend over the figure-9 testbed.
+The regenerated table reports per-tenant goodput, tail latency (p50/p95/p99
+in simulated us) and rejection rate; the scenario is then *replayed* from
+the same master seed and must produce a byte-identical SLO table (sha256
+fingerprint equality).  A second scenario repeats the load with a seeded
+partition crash injected mid-stream and checks the no-loss/at-most-once
+guarantee holds under failover, again byte-identically.
+
+Deselected from tier-1; run with::
+
+    pytest -m serve benchmarks/bench_serving.py
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.faults import make_figure9_system
+from repro.faults.injector import CRASH, FaultPlan, FaultRule, armed
+from repro.serve import ServingSystem, TenantSpec, open_loop_arrivals
+
+MASTER_SEED = 2022  # the paper's year; any seed must pass
+TENANTS = 4
+REQUESTS_PER_TENANT = 40
+
+
+def build_scenario(seed=MASTER_SEED):
+    """The N-tenant open-loop scenario over the figure-9 two-GPU testbed."""
+    serving = ServingSystem(
+        make_figure9_system(num_gpus=2), max_batch=4, max_delay_us=1_500.0
+    )
+    arrivals = []
+    for i in range(TENANTS):
+        noisy = i == TENANTS - 1
+        tenant = serving.add_tenant(
+            TenantSpec(
+                f"tenant-{i}",
+                rate_limit_rps=400.0 if noisy else 2_000.0,
+                burst=4 if noisy else 16,
+                deadline_us=300_000.0,
+            )
+        )
+        arrivals += open_loop_arrivals(
+            tenant,
+            count=REQUESTS_PER_TENANT,
+            seed=seed + i,
+            # The noisy tenant offers at 4x its paid 400 rps.
+            mean_interarrival_us=625.0 if noisy else 2_500.0,
+        )
+    return serving, arrivals
+
+
+@pytest.mark.serve
+def test_serving_load_green_and_deterministic(benchmark, record_table):
+    def scenario():
+        serving, arrivals = build_scenario()
+        report = serving.run(arrivals)
+        return report, serving.slo.accounts()
+
+    report, accounts = run_once(benchmark, scenario)
+
+    assert report.audit_exactly_once() == []
+    assert report.wrong_results == 0
+    # The noisy tenant was rate-limited; the well-behaved ones were not.
+    assert accounts[f"tenant-{TENANTS - 1}"].rejection_rate > 0.3
+    for i in range(TENANTS - 1):
+        assert accounts[f"tenant-{i}"].rejected == {}
+        assert accounts[f"tenant-{i}"].goodput_rps > 0.0
+
+    # Determinism: an independent replay of the same master seed renders
+    # the identical SLO table, byte for byte.
+    serving2, arrivals2 = build_scenario()
+    replay = serving2.run(arrivals2)
+    assert replay.fingerprint == report.fingerprint
+    assert replay.slo_text == report.slo_text
+
+    benchmark.extra_info["tenants"] = TENANTS
+    benchmark.extra_info["completed"] = len(report.completed)
+    benchmark.extra_info["fingerprint"] = report.fingerprint[:16]
+
+    summary = (
+        f"master seed = {MASTER_SEED}, tenants = {TENANTS} "
+        f"(tenant-{TENANTS - 1} noisy at 4x its rate limit), "
+        f"{REQUESTS_PER_TENANT} requests each; "
+        f"batches = {report.batcher_stats['batches_formed']}, "
+        f"mean occupancy = {report.batcher_stats['mean_occupancy']}; "
+        f"replay fingerprint = {report.fingerprint[:16]} (identical)\n\n"
+    )
+    record_table("serving_slo", summary + report.slo_text)
+
+
+@pytest.mark.serve
+def test_serving_crash_under_load_loses_nothing(benchmark, record_table):
+    plan = FaultPlan(
+        seed=MASTER_SEED,
+        rules=(FaultRule(site="srpc.enqueue", action=CRASH, nth=60, target="gpu0"),),
+    )
+
+    def scenario():
+        serving, arrivals = build_scenario()
+        with armed(plan, crash_handler=serving.injected_crash):
+            return serving.run(arrivals)
+
+    report = run_once(benchmark, scenario)
+
+    assert report.crashes == ("gpu0",)
+    assert report.audit_exactly_once() == []
+    assert report.wrong_results == 0
+    assert report.duplicates_avoided == 0
+    # Every admitted request reached exactly one terminal state.
+    assert len(report.completed) + len(report.expired) == len(report.admitted)
+
+    replay = scenario()
+    assert replay.fingerprint == report.fingerprint
+    assert replay.crashes == report.crashes
+
+    benchmark.extra_info["crashes"] = len(report.crashes)
+    benchmark.extra_info["fingerprint"] = report.fingerprint[:16]
+
+    summary = (
+        f"master seed = {MASTER_SEED}; seeded crash on gpu0 mid-load "
+        f"(srpc.enqueue, nth=60); completed = {len(report.completed)}, "
+        f"expired = {len(report.expired)}, lost = 0, duplicated = 0; "
+        f"replay fingerprint = {report.fingerprint[:16]} (identical)\n\n"
+    )
+    record_table("serving_crash", summary + report.slo_text)

@@ -14,10 +14,20 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.mos.microos import MicroOS
+from repro.secure.partition import PartitionState
 
 
 class DispatchError(Exception):
     """No partition can serve the request."""
+
+
+class NoReadyPartition(DispatchError):
+    """Matching partitions exist, but every one is crashed or restarting.
+
+    Distinct from a plain :class:`DispatchError` (no such device at all) so
+    callers — the serving layer in particular — can park the request until
+    recovery completes instead of failing it permanently.
+    """
 
 
 class EnclaveDispatcher:
@@ -45,7 +55,11 @@ class EnclaveDispatcher:
 
         With ``device_name`` the caller pins a specific accelerator (e.g.
         'gpu1' for data-parallel training); otherwise the least-loaded
-        matching partition wins.
+        READY matching partition wins, with the partition name as a stable
+        tie-break so equal-load dispatch is deterministic.  Raises
+        :class:`NoReadyPartition` when candidates exist but all are
+        crashed — routing to a dead partition would only trade a dispatch
+        error for a later peer-failure signal.
         """
         candidates = [m for m in self._moses if m.device_type == device_type]
         if device_name is not None:
@@ -55,7 +69,15 @@ class EnclaveDispatcher:
                 f"no partition manages a {device_type!r} device"
                 + (f" named {device_name!r}" if device_name else "")
             )
-        return min(candidates, key=lambda m: m.manager.reserved_bytes)
+        ready = [m for m in candidates if m.partition.state is PartitionState.READY]
+        if not ready:
+            raise NoReadyPartition(
+                f"all {len(candidates)} partition(s) for device type "
+                f"{device_type!r}"
+                + (f" named {device_name!r}" if device_name else "")
+                + " are crashed or restarting"
+            )
+        return min(ready, key=lambda m: (m.manager.reserved_bytes, m.partition.name))
 
     def resources(self) -> Dict[str, Dict[str, object]]:
         """The dispatcher's bookkeeping view (device type, usable memory)."""
@@ -68,5 +90,6 @@ class EnclaveDispatcher:
                 "memory_bytes": device.memory_bytes,
                 "reserved_bytes": mos.manager.reserved_bytes,
                 "state": mos.partition.state.value,
+                "restarts": mos.partition.restarts,
             }
         return out

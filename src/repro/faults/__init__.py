@@ -32,8 +32,10 @@ _EXPORTS = {
     "FaultPlanError": "repro.faults.injector",
     "FaultRule": "repro.faults.injector",
     "CampaignResult": "repro.faults.campaign",
+    "FailoverWorkload": "repro.faults.campaign",
     "PlanResult": "repro.faults.campaign",
     "generate_plans": "repro.faults.campaign",
+    "make_figure9_system": "repro.faults.campaign",
     "run_campaign": "repro.faults.campaign",
 }
 

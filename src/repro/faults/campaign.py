@@ -144,6 +144,21 @@ def generate_plans(master_seed: int = 0, count: int = 10) -> List[FaultPlan]:
 
 
 # -- the figure-9 workload under injection ----------------------------------
+def make_figure9_system(*, num_gpus: int = 2, trace: bool = False):
+    """The figure-9 testbed: a fresh two-GPU :class:`CronusSystem` with the
+    CUDA kernel library registered.
+
+    This is the workload factory every crash-under-load harness shares —
+    the fault campaign's :func:`run_plan` and the serving benchmark's
+    crash scenario both build their systems here instead of copy-pasting
+    the two-GPU setup.
+    """
+    import repro.workloads  # noqa: F401  (registers the matmul kernel)
+    from repro.systems import CronusSystem, TestbedConfig
+
+    return CronusSystem(TestbedConfig(num_gpus=num_gpus), trace=trace)
+
+
 @dataclass
 class WorkloadReport:
     """Everything the invariant checker needs about one plan's run."""
@@ -449,11 +464,8 @@ def run_plan(
     system_factory: Optional[Callable[[], object]] = None,
 ) -> PlanResult:
     """Execute one plan on a fresh system and check every invariant."""
-    import repro.workloads  # noqa: F401  (registers the matmul kernel)
-    from repro.systems import CronusSystem, TestbedConfig
-
     workload = workload or FailoverWorkload()
-    system = (system_factory or (lambda: CronusSystem(TestbedConfig(num_gpus=2))))()
+    system = (system_factory or make_figure9_system)()
     report = WorkloadReport()
     ready_at: Dict[str, float] = {}
 

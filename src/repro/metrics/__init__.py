@@ -6,6 +6,7 @@ from repro.metrics.report import (
     format_table,
     normalize,
     site_hit_table,
+    slo_table,
 )
 from repro.metrics.tcb import TCB_GROUPS, loc_of_modules, tcb_report
 from repro.metrics.trace import TraceEvent, Tracer
@@ -13,6 +14,7 @@ from repro.metrics.trace import TraceEvent, Tracer
 __all__ = [
     "campaign_matrix",
     "site_hit_table",
+    "slo_table",
     "counters_table",
     "format_table",
     "normalize",

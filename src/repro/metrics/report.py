@@ -69,3 +69,33 @@ def site_hit_table(site_hits: Mapping[str, int]) -> str:
     """Aggregated per-site injection hit counters across a campaign."""
     rows = [[site, hits] for site, hits in sorted(site_hits.items())]
     return format_table(["site", "hits"], rows)
+
+
+#: Column order of the serving-layer SLO summary (one row per tenant).
+SLO_COLUMNS = (
+    "tenant",
+    "offered",
+    "admitted",
+    "completed",
+    "deadline_met",
+    "expired",
+    "requeued",
+    "rejected",
+    "reject_rate",
+    "p50_us",
+    "p95_us",
+    "p99_us",
+    "goodput_rps",
+)
+
+
+def slo_table(rows: Iterable[Mapping[str, object]]) -> str:
+    """The per-tenant SLO summary of a serving run.
+
+    ``rows`` come from :meth:`repro.serve.slo.SLOAccount.row` — already
+    string-formatted with fixed precision, so the rendered table (and its
+    sha256 fingerprint) is byte-identical across same-seed runs.
+    """
+    return format_table(
+        list(SLO_COLUMNS), [[row.get(c, "-") for c in SLO_COLUMNS] for row in rows]
+    )

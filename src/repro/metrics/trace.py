@@ -38,9 +38,26 @@ class Tracer:
         self.enabled = enabled
         self.capacity = capacity
         self._events: List[TraceEvent] = []
+        self.dropped = 0
+        """Events discarded after the capacity was reached."""
 
     def emit(self, component: str, event: str, detail: Any = None) -> None:
-        if not self.enabled or len(self._events) >= self.capacity:
+        if not self.enabled:
+            return
+        if len(self._events) >= self.capacity:
+            # Overflow is recorded, not silent: one final ``overflow``
+            # marker is flushed into the trace (so ordering assertions can
+            # detect truncation) and every later emit bumps ``dropped``.
+            if self.dropped == 0:
+                self._events.append(
+                    TraceEvent(
+                        time_us=self._clock.now,
+                        component="tracer",
+                        event="overflow",
+                        detail=f"capacity {self.capacity} reached; later events dropped",
+                    )
+                )
+            self.dropped += 1
             return
         self._events.append(
             TraceEvent(time_us=self._clock.now, component=component, event=event, detail=detail)
@@ -61,6 +78,7 @@ class Tracer:
 
     def clear(self) -> None:
         self._events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self._events)

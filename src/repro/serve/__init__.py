@@ -1,0 +1,66 @@
+"""The multi-tenant serving layer.
+
+CRONUS positions the normal-world dispatcher (section III-A) and the HAL's
+MPS-style spatial sharing (section V) as its multi-tenancy story; this
+package builds the serving subsystem on top of them:
+
+* :mod:`repro.serve.tenants` — tenant registry: rate limits, memory
+  quotas, priority classes, optional device pinning.
+* :mod:`repro.serve.admission` — admission control with bounded per-tenant
+  queues, token-bucket rate limiting in simulated time, explicit rejection
+  reasons, and deterministic seeded open-loop arrival generation.
+* :mod:`repro.serve.batcher` — deadline-aware batching: compatible
+  invocations for one partition share the partition's long-lived sRPC
+  stream (amortizing channel setup the way the sRPC fast lanes amortize
+  ring accesses), flushed on max-batch, max-delay or deadline pressure.
+* :mod:`repro.serve.placement` — spatial-sharing-aware placer scoring
+  partitions by live accelerator contexts, serving queue depth and
+  reserved bytes, with deterministic tie-breaks.
+* :mod:`repro.serve.frontend` — the :class:`ServingSystem` façade wiring
+  tenants → admission → batcher → placement → dispatcher → mEnclaves on a
+  :class:`~repro.systems.cronus.CronusSystem`, surviving partition crashes
+  mid-request with at-most-once completion.
+* :mod:`repro.serve.slo` — per-tenant SLO accounting (latency percentiles,
+  goodput, rejection/expiry counts) rendered by ``metrics.report``.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    REJECT_NO_PARTITION,
+    REJECT_QUEUE_FULL,
+    REJECT_QUOTA,
+    REJECT_RATE,
+    REJECT_UNKNOWN,
+    Request,
+    open_loop_arrivals,
+)
+from repro.serve.batcher import Batch, DeadlineBatcher
+from repro.serve.frontend import ServingReport, ServingSystem
+from repro.serve.placement import PlacementError, SpatialPlacer
+from repro.serve.slo import SLOAccount, SLOTracker
+from repro.serve.tenants import Tenant, TenantError, TenantRegistry, TenantSpec
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Batch",
+    "DeadlineBatcher",
+    "PlacementError",
+    "REJECT_NO_PARTITION",
+    "REJECT_QUEUE_FULL",
+    "REJECT_QUOTA",
+    "REJECT_RATE",
+    "REJECT_UNKNOWN",
+    "Request",
+    "SLOAccount",
+    "SLOTracker",
+    "ServingReport",
+    "ServingSystem",
+    "SpatialPlacer",
+    "Tenant",
+    "TenantError",
+    "TenantRegistry",
+    "TenantSpec",
+    "open_loop_arrivals",
+]

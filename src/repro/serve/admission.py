@@ -1,0 +1,138 @@
+"""Admission control: bounded queues, rate limits, explicit backpressure.
+
+Every request is either *admitted* (it will complete exactly once or be
+reported expired — never silently lost) or *rejected* with an explicit
+reason, instead of growing an unbounded queue.  All decisions happen in
+simulated time, so an overload experiment replays byte-identically from
+its seed.
+
+The module also provides the deterministic open-loop load generator:
+per-tenant Poisson arrival streams drawn from independent seeded RNGs, so
+one tenant's stream never perturbs another's (the property the noisy-
+neighbour isolation test leans on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.serve.tenants import Tenant, TenantRegistry
+
+#: Rejection reasons (explicit backpressure signals).
+REJECT_UNKNOWN = "unknown-tenant"
+REJECT_RATE = "rate-limited"
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_QUOTA = "memory-quota"
+REJECT_NO_PARTITION = "no-partition"
+
+
+@dataclass
+class Request:
+    """One enclave invocation offered to the serving frontend.
+
+    The payload is a square matmul (the figure-9 kernel): inputs are
+    derived from ``data_seed`` at execution time, and the result is
+    verified against a host-side reference so a "completion" always means
+    a *correct* completion.
+    """
+
+    tenant: str
+    rid: str
+    arrival_us: float
+    deadline_us: float
+    kind: str = "matmul"
+    size: int = 8
+    device_type: str = "gpu"
+    device_name: Optional[str] = None
+    data_seed: int = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        """Accelerator-memory estimate charged against the tenant quota."""
+        return 2 * self.size * self.size * 4
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one offered request."""
+
+    admitted: bool
+    reason: Optional[str] = None
+
+
+class AdmissionController:
+    """Token-bucket + bounded-queue + quota gate in front of the batcher."""
+
+    def __init__(self, registry: TenantRegistry) -> None:
+        self._registry = registry
+
+    def offer(self, request: Request, now_us: float) -> AdmissionDecision:
+        """Admit or reject ``request`` at simulated time ``now_us``."""
+        if not self._registry.known(request.tenant):
+            return AdmissionDecision(False, REJECT_UNKNOWN)
+        tenant = self._registry.get(request.tenant)
+        tenant.offered += 1
+        tenant.refill(now_us)
+        if tenant.tokens < 1.0:
+            return AdmissionDecision(False, REJECT_RATE)
+        if tenant.in_flight >= tenant.spec.max_queue_depth:
+            return AdmissionDecision(False, REJECT_QUEUE_FULL)
+        if tenant.in_flight_bytes + request.memory_bytes > tenant.spec.memory_quota_bytes:
+            return AdmissionDecision(False, REJECT_QUOTA)
+        tenant.tokens -= 1.0
+        tenant.in_flight += 1
+        tenant.in_flight_bytes += request.memory_bytes
+        return AdmissionDecision(True)
+
+    def settle(self, request: Request) -> None:
+        """Release the queue slot and quota of a terminal request
+        (completed or expired).  Re-queued requests stay admitted — a
+        crash never re-charges the rate limiter."""
+        tenant = self._registry.get(request.tenant)
+        tenant.in_flight = max(0, tenant.in_flight - 1)
+        tenant.in_flight_bytes = max(0, tenant.in_flight_bytes - request.memory_bytes)
+
+
+def open_loop_arrivals(
+    tenant: Tenant,
+    *,
+    count: int,
+    seed: int,
+    start_us: float = 0.0,
+    mean_interarrival_us: Optional[float] = None,
+    size: int = 8,
+    kind: str = "matmul",
+) -> List[Request]:
+    """A deterministic open-loop (Poisson) arrival stream for one tenant.
+
+    Interarrival gaps are exponential with mean ``mean_interarrival_us``
+    (default: the tenant's rate limit, i.e. the tenant offers exactly what
+    it paid for; pass a smaller mean to model a noisy neighbour).  Each
+    tenant draws from its own ``random.Random(seed)``, so streams are
+    independent: adding or removing a tenant never changes another
+    tenant's arrivals.
+    """
+    spec = tenant.spec
+    mean = mean_interarrival_us
+    if mean is None:
+        mean = 1e6 / spec.rate_limit_rps
+    rng = random.Random(seed)
+    out: List[Request] = []
+    t = start_us
+    for i in range(count):
+        t += rng.expovariate(1.0 / mean)
+        out.append(
+            Request(
+                tenant=spec.name,
+                rid=f"{spec.name}-{i:05d}",
+                arrival_us=t,
+                deadline_us=t + spec.deadline_us,
+                kind=kind,
+                size=size,
+                device_name=spec.device_name,
+                data_seed=rng.randrange(2**32),
+            )
+        )
+    return out

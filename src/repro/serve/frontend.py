@@ -1,0 +1,437 @@
+"""The ServingSystem façade: tenants → admission → batching → mEnclaves.
+
+Turns a booted :class:`~repro.systems.cronus.CronusSystem` into a
+multi-tenant inference frontend.  Offered requests pass admission control,
+are placed onto a partition by the spatial-sharing placer, ride the
+partition's shared long-lived sRPC runtime in deadline-ordered batches,
+and are accounted per tenant by the SLO tracker.
+
+Two notions of time coexist (see ``docs/serving.md``):
+
+* The serving layer runs an **open-loop virtual event timeline**
+  (arrivals, batch-flush deadlines, crash and recovery instants) — the
+  time axis all SLO metrics use.  Per-partition ``free_at`` bookkeeping
+  models the partitions draining their queues concurrently.
+* The **platform clock** is the execution-cost meter: each batch really
+  executes on the mEnclave stack, and the clock delta it produces is the
+  batch's service time.  The global clock serializes all partitions'
+  work, so it is *not* used directly as a latency axis.
+
+Failover (the section IV-D story, lifted to the serving layer): a
+partition crash mid-request surfaces as
+:class:`~repro.rpc.channel.SRPCPeerFailure`; the frontend re-queues every
+admitted-but-unfinished request — never a completed one — and re-places
+it on a surviving partition, or parks it until the crashed partition's
+background recovery window closes.  A completed-request registry makes
+completion **at-most-once**: each admitted request completes exactly once
+or is reported expired, never duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.dispatch.dispatcher import DispatchError, NoReadyPartition
+from repro.rpc.channel import SRPCPeerFailure
+from repro.secure.spm import SPMError
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    REJECT_NO_PARTITION,
+    Request,
+)
+from repro.serve.batcher import DeadlineBatcher
+from repro.serve.placement import SpatialPlacer
+from repro.serve.slo import SLOTracker
+from repro.serve.tenants import Tenant, TenantRegistry, TenantSpec
+
+
+class ServingError(Exception):
+    """Frontend misuse (unknown device, unsupported request kind)."""
+
+
+class _PartitionWorker:
+    """Executes batches on one partition over a shared long-lived runtime.
+
+    The runtime (CPU mEnclave + accelerator mEnclave + sRPC channel) is
+    created once per partition *generation* and reused across batches and
+    tenants — the channel-setup amortization the batcher exists for.  A
+    crash abandons the generation; the next batch lazily builds a fresh
+    one against the recovered partition.
+    """
+
+    def __init__(self, serving: "ServingSystem", device_name: str) -> None:
+        self._serving = serving
+        self.device_name = device_name
+        self.runtime = None
+        self._owner: Optional[str] = None
+        self.generation = 0
+        self.calls = 0
+        self.batches = 0
+
+    def ensure_runtime(self):
+        if self.runtime is None:
+            self.generation += 1
+            self._owner = f"serve-{self.device_name}-g{self.generation}"
+            self.runtime = self._serving.system.runtime(
+                cuda_kernels=self._serving.kernels,
+                gpu_name=self.device_name,
+                owner=self._owner,
+            )
+        return self.runtime
+
+    def abandon(self) -> None:
+        """Drop the runtime after a crash; scrap surviving CPU-side state."""
+        runtime, self.runtime = self.runtime, None
+        if runtime is not None:
+            try:
+                runtime.close()
+            except Exception:
+                pass  # the peer is gone; there is nothing left to close
+        if self._owner is not None:
+            try:
+                self._serving.system.application(self._owner).shutdown()
+            except Exception:
+                pass
+
+    def run_request(self, request: Request) -> Tuple[float, bool, bool]:
+        """Execute one request; returns (service_us, correct, crashed_after).
+
+        ``crashed_after`` flags a peer failure during post-completion
+        cleanup: the result is already in hand, so the request counts as
+        completed and only the *worker* needs failover.
+        """
+        rt = self.runtime
+        clock = self._serving.system.clock
+        start = clock.now
+        rng = np.random.default_rng(request.data_seed)
+        a = rng.standard_normal((request.size, request.size)).astype(np.float32)
+        expected = a @ a
+        ha = rt.cudaMalloc(a.shape)
+        hc = rt.cudaMalloc(a.shape)
+        rt.cudaMemcpyH2D(ha, a)
+        rt.cudaLaunchKernel(request.kind, [ha, ha, hc])
+        out = rt.cudaMemcpyD2H(hc)
+        crashed_after = False
+        try:
+            rt.cudaFree(hc)
+            rt.cudaFree(ha)
+        except (SRPCPeerFailure, SPMError):
+            crashed_after = True
+        self.calls += 1
+        correct = (
+            isinstance(out, np.ndarray)
+            and out.shape == expected.shape
+            and bool(np.allclose(out, expected, atol=1e-2))
+        )
+        return clock.now - start, correct, crashed_after
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one :meth:`ServingSystem.run`."""
+
+    slo_text: str
+    fingerprint: str
+    makespan_us: float
+    admitted: Set[str]
+    completed: Dict[str, float]
+    """rid -> completion time (simulated us); one entry per completion."""
+    expired: Set[str]
+    rejected_after_admit: Set[str]
+    crashes: Tuple[str, ...]
+    wrong_results: int
+    duplicates_avoided: int
+    batcher_stats: Dict[str, object]
+    worker_stats: Dict[str, Dict[str, int]]
+
+    def audit_exactly_once(self) -> List[str]:
+        """At-most-once/no-loss audit; returns violation descriptions."""
+        out = []
+        overlap = set(self.completed) & self.expired
+        for rid in sorted(overlap):
+            out.append(f"{rid}: both completed and expired")
+        terminal = set(self.completed) | self.expired | self.rejected_after_admit
+        for rid in sorted(self.admitted - terminal):
+            out.append(f"{rid}: admitted but never completed nor expired")
+        for rid in sorted(set(self.completed) - self.admitted):
+            out.append(f"{rid}: completed without admission")
+        if self.duplicates_avoided:
+            out.append(
+                f"{self.duplicates_avoided} completed request(s) were re-queued"
+            )
+        return out
+
+
+class ServingSystem:
+    """Multi-tenant serving frontend over a CronusSystem."""
+
+    def __init__(
+        self,
+        system,
+        *,
+        max_batch: int = 8,
+        max_delay_us: float = 2_000.0,
+        kernels: Tuple[str, ...] = ("matmul",),
+    ) -> None:
+        self.system = system
+        self.kernels = kernels
+        self.registry = TenantRegistry()
+        self.admission = AdmissionController(self.registry)
+        self.batcher = DeadlineBatcher(max_batch=max_batch, max_delay_us=max_delay_us)
+        self.placer = SpatialPlacer(system.dispatcher)
+        self.slo = SLOTracker()
+        self._workers: Dict[str, _PartitionWorker] = {}
+        self._free_at: Dict[str, float] = {}
+        self._down_until: Dict[str, float] = {}
+        self._parked: List[Request] = []
+        self._admitted: Set[str] = set()
+        self._completed: Dict[str, float] = {}
+        self._expired: Set[str] = set()
+        self._rejected_after_admit: Set[str] = set()
+        self._now = 0.0
+        self.crashes: List[str] = []
+        self.wrong_results = 0
+        self.duplicates_avoided = 0
+
+    # -- tenants -----------------------------------------------------------
+    def add_tenant(self, spec: TenantSpec) -> Tenant:
+        return self.registry.register(spec)
+
+    # -- the serving loop --------------------------------------------------
+    def run(
+        self,
+        arrivals: Iterable[Request],
+        *,
+        crash_events: Sequence[Tuple[float, str]] = (),
+    ) -> ServingReport:
+        """Serve an open-loop arrival stream to completion.
+
+        ``crash_events`` is a sorted-or-not list of ``(time_us, device)``
+        partition crashes injected mid-load (the figure-9 scenario lifted
+        into the serving layer).
+        """
+        pending = sorted(arrivals, key=lambda r: (r.arrival_us, r.rid))
+        crash_queue = sorted(crash_events)
+        ai = ci = 0
+        while True:
+            events: List[Tuple[float, int]] = []
+            if self._down_until:
+                events.append((min(self._down_until.values()), 0))
+            if ai < len(pending):
+                events.append((pending[ai].arrival_us, 1))
+            if ci < len(crash_queue):
+                events.append((crash_queue[ci][0], 2))
+            due = self.batcher.earliest_due()
+            if due is not None:
+                events.append((due[0], 3))
+            if not events:
+                break
+            self._now = max(self._now, min(events)[0])
+            self._process_recoveries()
+            while ai < len(pending) and pending[ai].arrival_us <= self._now:
+                self.offer(pending[ai])
+                ai += 1
+            while ci < len(crash_queue) and crash_queue[ci][0] <= self._now:
+                self.crash_partition(crash_queue[ci][1])
+                ci += 1
+            for device in self.batcher.due_partitions(self._now):
+                self._flush(device)
+        # A parked request with no pending recovery can never run (its
+        # partition was torn down outside the serving layer): report it
+        # expired rather than losing it silently.
+        for request in self._parked:
+            self._expire(request)
+        self._parked.clear()
+        return self.report()
+
+    def offer(self, request: Request) -> AdmissionDecision:
+        """Admit (and place) or reject one request at its arrival time."""
+        if request.device_type != "gpu":
+            raise ServingError(
+                f"request {request.rid!r}: only device_type='gpu' is servable"
+            )
+        self.slo.record_offered(request)
+        decision = self.admission.offer(request, request.arrival_us)
+        if not decision.admitted:
+            self.slo.record_rejected(request, decision.reason)
+            return decision
+        self.slo.record_admitted(request)
+        self._admitted.add(request.rid)
+        self._place(request)
+        return decision
+
+    # -- placement and batching --------------------------------------------
+    def _is_ready(self, mos) -> bool:
+        device = mos.partition.device.name
+        return self._down_until.get(device, self._now) <= self._now
+
+    def _place(self, request: Request) -> None:
+        try:
+            mos = self.placer.place(
+                request, self.batcher.depths(), is_ready=self._is_ready
+            )
+        except NoReadyPartition:
+            self._parked.append(request)
+            return
+        except DispatchError:
+            # No partition manages such a device at all: terminal.
+            self.slo.record_rejected(request, REJECT_NO_PARTITION)
+            self.admission.settle(request)
+            self._rejected_after_admit.add(request.rid)
+            return
+        device = mos.partition.device.name
+        if self.batcher.add(device, request, self._now):
+            self._flush(device)
+
+    def _flush(self, device: str) -> None:
+        batch = self.batcher.flush(device, self._now)
+        if batch is not None:
+            self._execute_batch(batch)
+
+    # -- execution ---------------------------------------------------------
+    def _worker(self, device: str) -> _PartitionWorker:
+        if device not in self._workers:
+            self._workers[device] = _PartitionWorker(self, device)
+        return self._workers[device]
+
+    def _execute_batch(self, batch) -> None:
+        device = batch.device_name
+        worker = self._worker(device)
+        start = max(batch.formed_us, self._free_at.get(device, 0.0))
+        clock = self.system.clock
+        cum = 0.0
+        leftover: List[Request] = []
+        crashed = False
+        setup_start = clock.now
+        try:
+            worker.ensure_runtime()
+        except (SRPCPeerFailure, NoReadyPartition, SPMError):
+            crashed = True
+            leftover = list(batch.requests)
+        cum += clock.now - setup_start
+        if not crashed:
+            worker.batches += 1
+            for index, request in enumerate(batch.requests):
+                if request.rid in self._completed or request.rid in self._expired:
+                    # At-most-once guard: a settled request never re-runs.
+                    self.duplicates_avoided += 1
+                    self.slo.record_duplicate_avoided(request)
+                    continue
+                if start + cum > request.deadline_us:
+                    self._expire(request)
+                    continue
+                try:
+                    service, correct, crashed_after = worker.run_request(request)
+                except (SRPCPeerFailure, NoReadyPartition, SPMError):
+                    crashed = True
+                    leftover = [request] + list(batch.requests[index + 1:])
+                    break
+                cum += service
+                self._complete(request, start + cum, correct)
+                if crashed_after:
+                    crashed = True
+                    leftover = list(batch.requests[index + 1:])
+                    break
+        self._free_at[device] = start + cum
+        if crashed:
+            self._handle_worker_failure(device, leftover)
+
+    def _complete(self, request: Request, completion_us: float, correct: bool) -> None:
+        self._completed[request.rid] = completion_us
+        if not correct:
+            self.wrong_results += 1
+        self.slo.record_completed(request, completion_us)
+        self.admission.settle(request)
+
+    def _expire(self, request: Request) -> None:
+        self._expired.add(request.rid)
+        self.slo.record_expired(request)
+        self.admission.settle(request)
+
+    # -- failure handling --------------------------------------------------
+    def crash_partition(self, device: str) -> float:
+        """Crash ``device``'s partition mid-load (background recovery).
+
+        Returns the recovery window's end (simulated us).  Pending and
+        in-flight requests are re-queued by the failover path; the caller
+        normally lets :meth:`run` drive this via ``crash_events``.
+        """
+        if self.system.moses.get(device) is None:
+            raise ServingError(f"no partition manages device {device!r}")
+        if device in self._down_until:
+            return self._down_until[device]
+        rec = self.system.fail_partition(device, background=True)
+        ready_at = self._now + rec.total_us
+        self._down_until[device] = ready_at
+        self.crashes.append(device)
+        self._handle_worker_failure(device, [])
+        return ready_at
+
+    def injected_crash(self, device: str) -> None:
+        """`FaultInjector` crash-handler hook: mark the partition down.
+
+        Called synchronously from an injection site mid-execution; the
+        subsequent shared-memory access traps, surfaces as
+        ``SRPCPeerFailure`` in the executing batch, and the normal
+        failover path re-queues the unfinished requests.
+        """
+        mos = self.system.moses.get(device)
+        if mos is None or device in self._down_until:
+            return
+        rec = self.system.fail_partition(device, background=True)
+        self._down_until[device] = self._now + rec.total_us
+        self.crashes.append(device)
+
+    def _handle_worker_failure(self, device: str, leftover: List[Request]) -> None:
+        """Abandon the worker and re-queue admitted-but-unfinished work."""
+        worker = self._workers.get(device)
+        if worker is not None:
+            worker.abandon()
+        requeue = list(leftover)
+        if device in self._down_until:
+            requeue.extend(self.batcher.evict(device))
+        for request in requeue:
+            self.slo.record_requeued(request)
+            self._place(request)
+
+    def _process_recoveries(self) -> None:
+        recovered = sorted(
+            d for d, until in self._down_until.items() if until <= self._now
+        )
+        for device in recovered:
+            del self._down_until[device]
+        if recovered and self._parked:
+            parked, self._parked = self._parked, []
+            for request in parked:
+                if request.deadline_us < self._now:
+                    self._expire(request)
+                else:
+                    self._place(request)
+
+    # -- reporting ---------------------------------------------------------
+    def report(self) -> ServingReport:
+        return ServingReport(
+            slo_text=self.slo.table(),
+            fingerprint=self.slo.fingerprint(),
+            makespan_us=self._now,
+            admitted=set(self._admitted),
+            completed=dict(self._completed),
+            expired=set(self._expired),
+            rejected_after_admit=set(self._rejected_after_admit),
+            crashes=tuple(self.crashes),
+            wrong_results=self.wrong_results,
+            duplicates_avoided=self.duplicates_avoided,
+            batcher_stats=self.batcher.stats,
+            worker_stats={
+                d: {
+                    "batches": w.batches,
+                    "requests": w.calls,
+                    "generations": w.generation,
+                }
+                for d, w in sorted(self._workers.items())
+            },
+        )

@@ -1,0 +1,135 @@
+"""Spatial-sharing-aware placement of requests onto partitions.
+
+The dispatcher's single ``reserved_bytes`` heuristic is blind to the two
+quantities that actually govern multi-tenant accelerator latency in the
+paper's model: how many live contexts share the device (MPS utilization
+degrades with tenant count, section V / figure 11a) and how much work is
+already queued ahead of the new request.  The placer scores every READY
+candidate partition on all three signals and picks the minimum, with the
+partition name as a deterministic tie-break; pinned requests bypass
+scoring but still respect readiness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.dispatch.dispatcher import DispatchError, EnclaveDispatcher, NoReadyPartition
+from repro.secure.partition import PartitionState
+
+
+class PlacementError(DispatchError):
+    """No partition can host the request (and none will after recovery)."""
+
+
+@dataclass(frozen=True)
+class PartitionScore:
+    """One candidate's scoring breakdown (kept for observability)."""
+
+    device_name: str
+    live_contexts: int
+    queue_depth: int
+    reserved_bytes: int
+    score: float
+
+
+class SpatialPlacer:
+    """Scores partitions by live contexts, queue depth and reserved bytes."""
+
+    def __init__(
+        self,
+        dispatcher: EnclaveDispatcher,
+        *,
+        weight_contexts: float = 1.0,
+        weight_queue: float = 0.25,
+        weight_reserved_per_gib: float = 0.5,
+    ) -> None:
+        self._dispatcher = dispatcher
+        self.weight_contexts = weight_contexts
+        self.weight_queue = weight_queue
+        self.weight_reserved_per_gib = weight_reserved_per_gib
+        self.placements = 0
+
+    def score(self, mos, queue_depth: int) -> PartitionScore:
+        device = mos.partition.device
+        contexts = device.active_contexts() if hasattr(device, "active_contexts") else 0
+        reserved = mos.manager.reserved_bytes
+        value = (
+            self.weight_contexts * contexts
+            + self.weight_queue * queue_depth
+            + self.weight_reserved_per_gib * (reserved / float(1 << 30))
+        )
+        return PartitionScore(
+            device_name=device.name,
+            live_contexts=contexts,
+            queue_depth=queue_depth,
+            reserved_bytes=reserved,
+            score=value,
+        )
+
+    def scores(
+        self, device_type: str, queue_depths: Mapping[str, int]
+    ) -> List[PartitionScore]:
+        """Scoring breakdown for every candidate (any state), sorted by
+        (score, device name) — the placement order."""
+        out = [
+            self.score(m, queue_depths.get(m.partition.device.name, 0))
+            for m in self._dispatcher.moses()
+            if m.device_type == device_type
+        ]
+        return sorted(out, key=lambda s: (s.score, s.device_name))
+
+    def place(
+        self,
+        request,
+        queue_depths: Mapping[str, int],
+        *,
+        is_ready: Optional[Callable[[object], bool]] = None,
+    ):
+        """Pick the mOS for ``request``; returns the chosen MicroOS.
+
+        ``is_ready`` lets the frontend overlay its own availability view
+        (a partition inside its background-recovery window is READY in the
+        SPM's eyes but not yet servable).  Raises :class:`NoReadyPartition`
+        when candidates exist but none is available — the caller parks the
+        request until a recovery completes — and plain
+        :class:`~repro.dispatch.dispatcher.DispatchError` when no
+        partition matches at all.
+        """
+        candidates = [
+            m for m in self._dispatcher.moses() if m.device_type == request.device_type
+        ]
+        if request.device_name is not None:
+            candidates = [
+                m
+                for m in candidates
+                if m.partition.device.name == request.device_name
+            ]
+        if not candidates:
+            raise DispatchError(
+                f"no partition manages a {request.device_type!r} device"
+                + (
+                    f" named {request.device_name!r}"
+                    if request.device_name
+                    else ""
+                )
+            )
+        ready = [
+            m
+            for m in candidates
+            if m.partition.state is PartitionState.READY
+            and (is_ready is None or is_ready(m))
+        ]
+        if not ready:
+            raise NoReadyPartition(
+                f"all {len(candidates)} candidate partition(s) for request "
+                f"{request.rid!r} are crashed or recovering"
+            )
+        scored = [
+            (self.score(m, queue_depths.get(m.partition.device.name, 0)), m)
+            for m in ready
+        ]
+        scored.sort(key=lambda pair: (pair[0].score, pair[0].device_name))
+        self.placements += 1
+        return scored[0][1]

@@ -1,0 +1,152 @@
+"""Per-tenant SLO accounting.
+
+Tracks every request's fate — admitted, rejected (by reason), completed,
+expired, re-queued after a crash — plus completion latencies in simulated
+microseconds, and renders the per-tenant summary through
+:func:`repro.metrics.report.slo_table`.
+
+Definitions (also in ``docs/serving.md``):
+
+* **latency** — completion time minus arrival time, simulated µs; the
+  percentiles use the deterministic nearest-rank method.
+* **goodput** — deadline-met completions per simulated second of the
+  tenant's own observation window (first arrival to last deadline), so a
+  tenant's goodput is a function of its own stream only.
+* **rejection rate** — rejected / offered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.report import slo_table
+
+
+def nearest_rank(sorted_values: List[float], pct: float) -> float:
+    """The nearest-rank percentile (deterministic, no interpolation)."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-pct * len(sorted_values) // 100)  # ceil(pct/100 * n)
+    rank = max(1, min(len(sorted_values), int(rank)))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class SLOAccount:
+    """Mutable per-tenant tally."""
+
+    tenant: str
+    offered: int = 0
+    admitted: int = 0
+    completed: int = 0
+    deadline_met: int = 0
+    expired: int = 0
+    requeued: int = 0
+    duplicates_avoided: int = 0
+    rejected: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    first_arrival_us: Optional[float] = None
+    last_deadline_us: float = 0.0
+
+    @property
+    def rejected_total(self) -> int:
+        return sum(self.rejected.values())
+
+    def percentile(self, pct: float) -> float:
+        return nearest_rank(sorted(self.latencies), pct)
+
+    @property
+    def window_us(self) -> float:
+        if self.first_arrival_us is None:
+            return 0.0
+        return max(0.0, self.last_deadline_us - self.first_arrival_us)
+
+    @property
+    def goodput_rps(self) -> float:
+        window = self.window_us
+        if window <= 0:
+            return 0.0
+        return self.deadline_met / (window / 1e6)
+
+    @property
+    def rejection_rate(self) -> float:
+        if not self.offered:
+            return 0.0
+        return self.rejected_total / self.offered
+
+    def row(self) -> Dict[str, object]:
+        """One rendered table row (fixed formatting → byte-stable text)."""
+        return {
+            "tenant": self.tenant,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "deadline_met": self.deadline_met,
+            "expired": self.expired,
+            "requeued": self.requeued,
+            "rejected": self.rejected_total,
+            "reject_rate": f"{self.rejection_rate:.3f}",
+            "p50_us": f"{self.percentile(50):.1f}",
+            "p95_us": f"{self.percentile(95):.1f}",
+            "p99_us": f"{self.percentile(99):.1f}",
+            "goodput_rps": f"{self.goodput_rps:.3f}",
+        }
+
+
+class SLOTracker:
+    """All tenants' accounts plus the campaign-style deterministic export."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, SLOAccount] = {}
+
+    def account(self, tenant: str) -> SLOAccount:
+        if tenant not in self._accounts:
+            self._accounts[tenant] = SLOAccount(tenant=tenant)
+        return self._accounts[tenant]
+
+    # -- recording ---------------------------------------------------------
+    def record_offered(self, request) -> None:
+        acct = self.account(request.tenant)
+        acct.offered += 1
+        if acct.first_arrival_us is None or request.arrival_us < acct.first_arrival_us:
+            acct.first_arrival_us = request.arrival_us
+        acct.last_deadline_us = max(acct.last_deadline_us, request.deadline_us)
+
+    def record_admitted(self, request) -> None:
+        self.account(request.tenant).admitted += 1
+
+    def record_rejected(self, request, reason: str) -> None:
+        acct = self.account(request.tenant)
+        acct.rejected[reason] = acct.rejected.get(reason, 0) + 1
+
+    def record_completed(self, request, completion_us: float) -> None:
+        acct = self.account(request.tenant)
+        acct.completed += 1
+        acct.latencies.append(completion_us - request.arrival_us)
+        if completion_us <= request.deadline_us:
+            acct.deadline_met += 1
+
+    def record_expired(self, request) -> None:
+        self.account(request.tenant).expired += 1
+
+    def record_requeued(self, request) -> None:
+        self.account(request.tenant).requeued += 1
+
+    def record_duplicate_avoided(self, request) -> None:
+        self.account(request.tenant).duplicates_avoided += 1
+
+    # -- export ------------------------------------------------------------
+    def accounts(self) -> Dict[str, SLOAccount]:
+        return dict(self._accounts)
+
+    def table(self) -> str:
+        """The per-tenant SLO summary, sorted by tenant name."""
+        return slo_table(
+            [self._accounts[name].row() for name in sorted(self._accounts)]
+        )
+
+    def fingerprint(self) -> str:
+        """Digest of the table — byte-identical across same-seed runs."""
+        return hashlib.sha256(self.table().encode()).hexdigest()

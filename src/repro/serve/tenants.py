@@ -1,0 +1,102 @@
+"""Tenant registry: who may submit work, and under which limits.
+
+A tenant is one mutually-distrusting client of the PaaS (the Composite
+Enclaves setting): its enclave invocations are isolated from other tenants
+by the partition/spatial-sharing machinery below, while this layer bounds
+the *load* it can impose — a token-bucket rate limit, a memory quota over
+in-flight requests, and a bounded admission queue.  Priority classes order
+tenants wherever the serving layer iterates over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class TenantError(Exception):
+    """Registry misuse: duplicate or unknown tenant, invalid spec."""
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Static per-tenant limits, fixed at registration time."""
+
+    name: str
+    rate_limit_rps: float = 100.0
+    """Token-bucket refill rate, requests per *simulated* second."""
+    burst: int = 8
+    """Token-bucket depth: admissions tolerated back-to-back."""
+    memory_quota_bytes: int = 64 << 20
+    """Upper bound on the summed memory estimates of in-flight requests."""
+    max_queue_depth: int = 64
+    """Bound on admitted-but-unfinished requests (the per-tenant queue)."""
+    priority: int = 1
+    """Priority class; lower values are served first on ties."""
+    deadline_us: float = 500_000.0
+    """Relative deadline applied to each of this tenant's requests."""
+    device_name: Optional[str] = None
+    """Optional accelerator pinning (e.g. ``'gpu1'``) honoured by placement."""
+
+    def __post_init__(self) -> None:
+        if self.rate_limit_rps <= 0:
+            raise TenantError(f"tenant {self.name!r}: rate limit must be positive")
+        if self.burst < 1:
+            raise TenantError(f"tenant {self.name!r}: burst must be at least 1")
+        if self.max_queue_depth < 1:
+            raise TenantError(f"tenant {self.name!r}: queue depth must be at least 1")
+
+
+@dataclass
+class Tenant:
+    """Runtime admission state of one registered tenant."""
+
+    spec: TenantSpec
+    tokens: float = 0.0
+    last_refill_us: Optional[float] = None
+    in_flight: int = 0
+    in_flight_bytes: int = 0
+    offered: int = 0
+
+    def refill(self, now_us: float) -> None:
+        """Advance the token bucket to ``now_us`` (simulated time)."""
+        if self.last_refill_us is None:
+            self.tokens = float(self.spec.burst)
+        else:
+            elapsed_s = max(0.0, now_us - self.last_refill_us) / 1e6
+            self.tokens = min(
+                float(self.spec.burst), self.tokens + elapsed_s * self.spec.rate_limit_rps
+            )
+        self.last_refill_us = now_us
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+class TenantRegistry:
+    """All registered tenants, iterated in (priority, name) order."""
+
+    def __init__(self) -> None:
+        self._tenants: Dict[str, Tenant] = {}
+
+    def register(self, spec: TenantSpec) -> Tenant:
+        if spec.name in self._tenants:
+            raise TenantError(f"tenant {spec.name!r} already registered")
+        tenant = Tenant(spec=spec)
+        self._tenants[spec.name] = tenant
+        return tenant
+
+    def get(self, name: str) -> Tenant:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise TenantError(f"no tenant named {name!r}") from None
+
+    def known(self, name: str) -> bool:
+        return name in self._tenants
+
+    def tenants(self) -> List[Tenant]:
+        return sorted(
+            self._tenants.values(), key=lambda t: (t.spec.priority, t.spec.name)
+        )

@@ -1,0 +1,94 @@
+"""Dispatcher error paths and resource accounting across crash/recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dispatch.dispatcher import DispatchError, NoReadyPartition
+from repro.secure.partition import PartitionState
+
+
+class TestDispatchErrors:
+    def test_unknown_device_type(self, cronus):
+        with pytest.raises(DispatchError, match="tpu"):
+            cronus.dispatcher.partition_for("tpu")
+
+    def test_unknown_pinned_device_names_the_pin(self, cronus):
+        with pytest.raises(DispatchError, match="gpu9"):
+            cronus.dispatcher.partition_for("gpu", device_name="gpu9")
+
+    def test_all_candidates_crashed_raises_no_ready(self, cronus2gpu):
+        partitions = [
+            m.partition
+            for m in cronus2gpu.dispatcher.moses()
+            if m.device_type == "gpu"
+        ]
+        saved = [p.state for p in partitions]
+        try:
+            for partition in partitions:
+                partition.state = PartitionState.FAILED
+            with pytest.raises(NoReadyPartition):
+                cronus2gpu.dispatcher.partition_for("gpu")
+            # The subclass is still a DispatchError for legacy callers.
+            with pytest.raises(DispatchError):
+                cronus2gpu.dispatcher.partition_for("gpu")
+        finally:
+            for partition, state in zip(partitions, saved):
+                partition.state = state
+        assert (
+            cronus2gpu.dispatcher.partition_for("gpu").partition.state
+            is PartitionState.READY
+        )
+
+    def test_crashed_candidate_is_skipped_not_fatal(self, cronus2gpu):
+        gpu0 = cronus2gpu.moses["gpu0"].partition
+        saved = gpu0.state
+        try:
+            gpu0.state = PartitionState.RESTARTING
+            mos = cronus2gpu.dispatcher.partition_for("gpu")
+            assert mos.partition.device.name == "gpu1"
+        finally:
+            gpu0.state = saved
+
+    def test_equal_load_tie_breaks_on_partition_name(self, cronus2gpu):
+        # Both GPUs idle: the stable (reserved_bytes, name) key must pick
+        # the lexicographically-first partition, every time.
+        names = {
+            cronus2gpu.dispatcher.partition_for("gpu").partition.name
+            for _ in range(5)
+        }
+        assert len(names) == 1
+        assert "gpu0" in names.pop()
+
+    def test_load_still_dominates_tie_break(self, cronus2gpu):
+        rt = cronus2gpu.runtime(cuda_kernels=("vecadd",), owner="loader")
+        rt.cudaMalloc((1024,))
+        try:
+            mos = cronus2gpu.dispatcher.partition_for("gpu")
+            assert mos.partition.device.name == "gpu1"
+        finally:
+            cronus2gpu.release(rt)
+
+
+class TestResourcesAccounting:
+    def test_resources_after_crash_and_recovery(self, cronus):
+        rt = cronus.runtime(cuda_kernels=("vecadd",), owner="crashme")
+        rt.cudaMalloc((4096,))
+        before = cronus.dispatcher.resources()["mos-gpu0"]
+        assert before["reserved_bytes"] > 0
+        assert before["restarts"] == 0
+
+        cronus.fail_partition("gpu0")
+
+        after = cronus.dispatcher.resources()["mos-gpu0"]
+        # Recovery reloads the mOS from its measured image: reservations
+        # are wiped, the restart is counted, and the partition is READY.
+        assert after["reserved_bytes"] == 0
+        assert after["restarts"] == 1
+        assert after["state"] == "ready"
+        assert after["memory_bytes"] == before["memory_bytes"]
+
+    def test_resources_reports_every_partition(self, cronus2gpu):
+        rows = cronus2gpu.dispatcher.resources()
+        assert set(rows) == {"mos-cpu0", "mos-gpu0", "mos-gpu1", "mos-npu0"}
+        assert all("restarts" in row for row in rows.values())

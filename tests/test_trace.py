@@ -27,7 +27,40 @@ class TestTracer:
         tracer = Tracer(SimClock(), enabled=True, capacity=3)
         for i in range(10):
             tracer.emit("x", f"e{i}")
-        assert len(tracer) == 3
+        # Three real events plus the single overflow marker.
+        assert len(tracer) == 4
+        assert tracer.dropped == 7
+
+    def test_overflow_is_visible_not_silent(self):
+        clock = SimClock()
+        tracer = Tracer(clock, enabled=True, capacity=2)
+        tracer.emit("x", "e0")
+        tracer.emit("x", "e1")
+        assert tracer.dropped == 0
+        clock.advance(3.0)
+        tracer.emit("x", "e2")  # first drop: flushes the overflow marker
+        tracer.emit("x", "e3")
+        # Ordering assertions can detect truncation from the sequence.
+        assert tracer.sequence() == ["e0", "e1", "overflow"]
+        marker = tracer.events(component="tracer", event="overflow")[0]
+        assert marker.time_us == 3.0
+        assert "capacity 2" in marker.detail
+        assert tracer.dropped == 2
+        # Only one marker, no matter how many drops follow.
+        for _ in range(5):
+            tracer.emit("x", "late")
+        assert len(tracer.events(event="overflow")) == 1
+        assert tracer.dropped == 7
+
+    def test_clear_resets_overflow(self):
+        tracer = Tracer(SimClock(), enabled=True, capacity=1)
+        tracer.emit("x", "e0")
+        tracer.emit("x", "e1")
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0
+        tracer.emit("x", "fresh")
+        assert tracer.sequence() == ["fresh"]
 
     def test_filters(self):
         tracer = Tracer(SimClock(), enabled=True)
