@@ -137,6 +137,63 @@ def _cmd_trace(_args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """Figure 9 with observability on: Perfetto trace + recovery breakdown."""
+    from repro.faults.campaign import make_figure9_system
+    from repro.faults.failover import run_failover_experiment
+    from repro.metrics import recovery_table, span_tree
+    from repro.obs import (
+        chrome_trace,
+        collect_system_metrics,
+        recovery_phases,
+        validate_chrome_trace,
+        write_chrome_trace,
+    )
+
+    system = make_figure9_system(obs=args.obs_enabled)
+    result = run_failover_experiment(
+        system=system,
+        duration_us=600_000.0,
+        crash_at_us=200_000.0,
+        bucket_us=50_000.0,
+        detection=args.detection,
+    )
+    obs = system.platform.obs
+    print(f"spans recorded: {len(obs)} (dropped {obs.dropped}); "
+          f"flight dumps: {len(obs.flight_dumps)}")
+    if not obs.enabled:
+        print("observability disabled (--disabled); nothing to export")
+        return 0
+
+    problems = validate_chrome_trace(chrome_trace(obs))
+    if problems:
+        for problem in problems:
+            print(f"SCHEMA: {problem}", file=sys.stderr)
+        return 1
+    print(f"chrome trace: {write_chrome_trace(obs, args.out)} (schema ok)")
+
+    # The crashed request's trace: recovery spans live in the trace of the
+    # request that was active on the partition when it died.
+    recovery_spans = obs.spans(category="recovery")
+    trace_id = recovery_spans[0].context.trace_id if recovery_spans else None
+    phases = recovery_phases(obs, trace_id=trace_id)
+    print(f"\nrecovery breakdown (trace {trace_id}):")
+    print(recovery_table(phases))
+    failover_us = result.detection_us + result.recovery_us + result.resubmit_us
+    print(f"reported failover latency: {failover_us:.3f} us "
+          f"(detect {result.detection_us:.3f} + recover {result.recovery_us:.3f}"
+          f" + resubmit {result.resubmit_us:.3f})")
+
+    if trace_id is not None:
+        print(f"\nspan tree of the crashed request (trace {trace_id}):")
+        print(span_tree(obs.spans(trace_id=trace_id)))
+
+    registry = collect_system_metrics(system)
+    print(f"\nmetrics fingerprint: {registry.fingerprint()}")
+    print(registry.render())
+    return 0
+
+
 _COMMANDS = {
     "attest": _cmd_attest,
     "attacks": _cmd_attacks,
@@ -145,6 +202,7 @@ _COMMANDS = {
     "failover": _cmd_failover,
     "tcb": _cmd_tcb,
     "trace": _cmd_trace,
+    "obs": _cmd_obs,
 }
 
 
@@ -157,6 +215,19 @@ def main(argv=None) -> int:
         cmd = sub.add_parser(name)
         if name == "rodinia":
             cmd.add_argument("bench", nargs="*", help="bench names (default: all)")
+        if name == "obs":
+            cmd.add_argument(
+                "--out", default="trace.json",
+                help="Chrome trace-event JSON output path (default: trace.json)",
+            )
+            cmd.add_argument(
+                "--detection", choices=("panic", "watchdog"), default="panic",
+                help="failure-identification mode (default: panic)",
+            )
+            cmd.add_argument(
+                "--disabled", dest="obs_enabled", action="store_false",
+                help="run with observability off (inertness sanity check)",
+            )
     args = parser.parse_args(argv)
 
     import repro.workloads  # noqa: F401  (registers kernels)

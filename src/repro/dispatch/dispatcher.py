@@ -77,7 +77,20 @@ class EnclaveDispatcher:
                 + (f" named {device_name!r}" if device_name else "")
                 + " are crashed or restarting"
             )
-        return min(ready, key=lambda m: (m.manager.reserved_bytes, m.partition.name))
+        choice = min(ready, key=lambda m: (m.manager.reserved_bytes, m.partition.name))
+        platform = choice.platform
+        if platform.obs.enabled:
+            platform.obs.event(
+                "dispatch.route", category="dispatch",
+                partition=choice.partition.name,
+                device_type=device_type, device=choice.partition.device.name,
+            )
+        if platform.metrics.enabled:
+            platform.metrics.counter("dispatch", "routed").inc()
+            platform.metrics.counter(
+                "dispatch", f"routed_to:{choice.partition.name}"
+            ).inc()
+        return choice
 
     def resources(self) -> Dict[str, Dict[str, object]]:
         """The dispatcher's bookkeeping view (device type, usable memory)."""

@@ -144,19 +144,21 @@ def generate_plans(master_seed: int = 0, count: int = 10) -> List[FaultPlan]:
 
 
 # -- the figure-9 workload under injection ----------------------------------
-def make_figure9_system(*, num_gpus: int = 2, trace: bool = False):
+def make_figure9_system(*, num_gpus: int = 2, trace: bool = False, obs: bool = False):
     """The figure-9 testbed: a fresh two-GPU :class:`CronusSystem` with the
     CUDA kernel library registered.
 
     This is the workload factory every crash-under-load harness shares —
     the fault campaign's :func:`run_plan` and the serving benchmark's
     crash scenario both build their systems here instead of copy-pasting
-    the two-GPU setup.
+    the two-GPU setup.  ``obs=True`` turns on causal spans and the typed
+    metrics registry (``python -m repro obs`` runs the failover experiment
+    this way).
     """
     import repro.workloads  # noqa: F401  (registers the matmul kernel)
     from repro.systems import CronusSystem, TestbedConfig
 
-    return CronusSystem(TestbedConfig(num_gpus=num_gpus), trace=trace)
+    return CronusSystem(TestbedConfig(num_gpus=num_gpus), trace=trace, obs=obs)
 
 
 @dataclass
@@ -184,23 +186,40 @@ class _MatmulTask:
         self.handles: Tuple = ()
         self.completions: List[float] = []
         self.resubmissions = 0
+        self._obs = None
+        self._root = None  # the open attempt span (obs runs only)
+        self._first_context = None  # attempt 1's context; resubmits link to it
 
     def start(self, system) -> None:
-        self.runtime = system.runtime(
-            cuda_kernels=("matmul",),
-            gpu_name=self.device,
-            owner=f"{self.name}-{self.resubmissions}",
-        )
-        ha = self.runtime.cudaMalloc(self.a.shape)
-        hc = self.runtime.cudaMalloc(self.a.shape)
-        self.runtime.cudaMemcpyH2D(ha, self.a)
+        obs = self._obs = system.platform.obs
+        if obs.enabled:
+            self._root = obs.begin(
+                f"task.{self.name}",
+                category="task",
+                parent=self._first_context,
+                detached=True,
+                gpu=self.device,
+                attempt=self.resubmissions + 1,
+            )
+            if self._first_context is None and self._root.context is not None:
+                self._first_context = self._root.context
+        with obs.attach(getattr(self._root, "context", None)):
+            self.runtime = system.runtime(
+                cuda_kernels=("matmul",),
+                gpu_name=self.device,
+                owner=f"{self.name}-{self.resubmissions}",
+            )
+            ha = self.runtime.cudaMalloc(self.a.shape)
+            hc = self.runtime.cudaMalloc(self.a.shape)
+            self.runtime.cudaMemcpyH2D(ha, self.a)
         self.handles = (ha, hc)
 
     def iterate(self, system) -> bool:
         """One matmul + sync; returns False on a silently wrong result."""
         ha, hc = self.handles
-        self.runtime.cudaLaunchKernel("matmul", [ha, ha, hc])
-        out = self.runtime.cudaMemcpyD2H(hc)
+        with system.platform.obs.attach(getattr(self._root, "context", None)):
+            self.runtime.cudaLaunchKernel("matmul", [ha, ha, hc])
+            out = self.runtime.cudaMemcpyD2H(hc)
         self.completions.append(system.clock.now)
         return (
             isinstance(out, np.ndarray)
@@ -210,6 +229,9 @@ class _MatmulTask:
 
     def abandon(self) -> None:
         """Drop the (failed) runtime; the next start is a resubmission."""
+        if self._obs is not None and self._root is not None:
+            self._obs.end(self._root, outcome="abandoned")
+            self._root = None
         self.runtime = None
         self.handles = ()
         self.resubmissions += 1

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs.span import NO_SPAN
 from repro.rpc.channel import SRPCPeerFailure
 from repro.systems.cronus import CronusSystem
 from repro.systems.testbed import TestbedConfig
@@ -31,30 +32,75 @@ class FailoverTask:
     runtime: object = None
     handles: tuple = ()
     completions_us: List[float] = field(default_factory=list)
+    attempts: int = 0
+    root: object = NO_SPAN
+    """The open span of the current attempt (NO_SPAN when obs is off)."""
+    first_context: object = None
+    """Span context of attempt 1 — resubmissions parent under it, linking
+    the resubmitted work to the crashed attempt in one trace."""
 
     def start(self, system: CronusSystem) -> None:
-        self.runtime = system.runtime(
-            cuda_kernels=("matmul",), gpu_name=self.gpu_name, owner=self.name
-        )
-        rng = np.random.default_rng(hash(self.name) % (2**31))
-        a = rng.standard_normal((self.matrix_size, self.matrix_size)).astype(np.float32)
-        ha = self.runtime.cudaMalloc((self.matrix_size, self.matrix_size))
-        hb = self.runtime.cudaMalloc((self.matrix_size, self.matrix_size))
-        hc = self.runtime.cudaMalloc((self.matrix_size, self.matrix_size))
-        self.runtime.cudaMemcpyH2D(ha, a)
-        self.runtime.cudaMemcpyH2D(hb, a)
+        obs = system.platform.obs
+        self.attempts += 1
+        if obs.enabled:
+            self.root = obs.begin(
+                f"task.{self.name}",
+                category="task",
+                parent=self.first_context,
+                detached=True,
+                gpu=self.gpu_name,
+                attempt=self.attempts,
+                **(
+                    {"resubmit_of": self.first_context.span_id}
+                    if self.first_context is not None
+                    else {}
+                ),
+            )
+            if self.first_context is None and self.root is not NO_SPAN:
+                self.first_context = self.root.context
+        with obs.attach(getattr(self.root, "context", None)):
+            self.runtime = system.runtime(
+                cuda_kernels=("matmul",), gpu_name=self.gpu_name, owner=self.name
+            )
+            rng = np.random.default_rng(hash(self.name) % (2**31))
+            a = rng.standard_normal((self.matrix_size, self.matrix_size)).astype(
+                np.float32
+            )
+            ha = self.runtime.cudaMalloc((self.matrix_size, self.matrix_size))
+            hb = self.runtime.cudaMalloc((self.matrix_size, self.matrix_size))
+            hc = self.runtime.cudaMalloc((self.matrix_size, self.matrix_size))
+            self.runtime.cudaMemcpyH2D(ha, a)
+            self.runtime.cudaMemcpyH2D(hb, a)
         self.handles = (ha, hb, hc)
 
     def iterate(self, system: CronusSystem) -> bool:
         """One matmul + sync; returns False if the partition failed."""
         ha, hb, hc = self.handles
+        obs = system.platform.obs
         try:
-            self.runtime.cudaLaunchKernel("matmul", [ha, hb, hc], sim_scale=self.sim_scale)
-            self.runtime.cudaDeviceSynchronize()
+            with obs.attach(getattr(self.root, "context", None)):
+                self.runtime.cudaLaunchKernel(
+                    "matmul", [ha, hb, hc], sim_scale=self.sim_scale
+                )
+                self.runtime.cudaDeviceSynchronize()
         except SRPCPeerFailure:
+            obs.end(self.root, outcome="crashed")
+            self.root = NO_SPAN
             return False
         self.completions_us.append(system.clock.now)
         return True
+
+    def crashed(self, system: CronusSystem) -> None:
+        """Close the current attempt's span after an injected crash (the
+        experiment marks the task inactive without another iterate, so the
+        peer-failure path never fires)."""
+        system.platform.obs.end(self.root, outcome="crashed")
+        self.root = NO_SPAN
+
+    def finish(self, system: CronusSystem) -> None:
+        """Close the current attempt's span (experiment teardown)."""
+        system.platform.obs.end(self.root, outcome="finished")
+        self.root = NO_SPAN
 
 
 @dataclass(frozen=True)
@@ -118,9 +164,18 @@ def run_failover_experiment(
     ready_at = None
     tasks = [task_a, task_b]
     active = {t.name: True for t in tasks}
+    obs = system.platform.obs
+    crash_partition = system.spm.partition_for_device("gpu0").name
     while system.clock.now - start < duration_us:
         if not crashed and system.clock.now - start >= crash_at_us:
             crashed = True
+            detect_start = system.clock.now
+            # Capture the pre-crash context: the detect phase belongs to
+            # the request that was active when the partition died, not to
+            # whatever recovery span gets noted during fail_partition.
+            detect_parent = (
+                obs.partition_context(crash_partition) if obs.enabled else None
+            )
             # Recovery runs in the SPM concurrently with the healthy
             # partition (background=True): the surviving task keeps
             # computing while gpu0's mOS clears and reloads.
@@ -143,6 +198,20 @@ def run_failover_experiment(
             recovery_us = report.total_us
             ready_at = system.clock.now + recovery_us
             active["task-a"] = False
+            task_a.crashed(system)
+            if obs.enabled:
+                # The detect phase of the figure-9 breakdown: zero-length
+                # for a panic (the SPM is trapped into synchronously), up
+                # to one watchdog interval for a hang.
+                obs.record(
+                    "recovery.detect",
+                    start_us=detect_start,
+                    end_us=detect_start + detection_us,
+                    category="recovery",
+                    parent=detect_parent,
+                    partition=crash_partition,
+                    mode=detection,
+                )
         progressed = False
         for task in tasks:
             if not active[task.name]:
@@ -165,9 +234,21 @@ def run_failover_experiment(
             task_a.start(system)
             resubmit_us = system.clock.now - t0
             active["task-a"] = True
+            if obs.enabled:
+                obs.record(
+                    "recovery.resubmit",
+                    start_us=t0,
+                    end_us=system.clock.now,
+                    category="recovery",
+                    parent=obs.partition_context(crash_partition),
+                    partition=crash_partition,
+                    task=task_a.name,
+                )
         if not progressed and all(not a for a in active.values()):
             break
 
+    for task in tasks:
+        task.finish(system)
     buckets = int(duration_us / bucket_us)
     throughput = {
         t.name: _bucketize(t.completions_us, start, bucket_us, buckets) for t in tasks

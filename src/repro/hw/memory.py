@@ -29,6 +29,10 @@ class PhysicalMemory:
         self.size_bytes = size_bytes
         self._pages: Dict[int, bytearray] = {}
         self._tzasc = tzasc
+        # Optional observability hook installed by the Platform: scrub
+        # accounting for the recovery path (None until wired, and inert
+        # unless the registry is enabled).
+        self.metrics = None
 
     def attach_tzasc(self, tzasc: "TZASCLike") -> None:
         """Install the TZASC filter (done once during platform bring-up)."""
@@ -108,6 +112,9 @@ class PhysicalMemory:
             chunk = self._pages.get(page)
             if chunk is not None:
                 chunk[start:end] = b"\x00" * (end - start)
+        if self.metrics is not None and self.metrics.enabled:
+            self.metrics.counter("memory", "zero_ranges").inc()
+            self.metrics.counter("memory", "zeroed_bytes").inc(length)
 
     def page_is_zero(self, page: int) -> bool:
         """True if the page has never been written or was scrubbed."""

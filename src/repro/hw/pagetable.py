@@ -93,6 +93,11 @@ class PageTable:
             "cached": len(self._tlb),
         }
 
+    def absorb_into(self, registry) -> None:
+        """Publish ``tlb_stats`` into a :class:`repro.obs.MetricsRegistry`
+        under this table's name, keeping the counters_table layer labels."""
+        registry.absorb(self.name, self.tlb_stats)
+
     def map(
         self,
         virt_page: int,

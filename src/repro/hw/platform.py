@@ -73,10 +73,19 @@ class Platform:
         self.tzpc = self.device_guard
         from repro.hw.irq import InterruptController
         from repro.metrics.trace import Tracer
+        from repro.obs.metric import MetricsRegistry
+        from repro.obs.span import SpanRecorder
 
         self.gic = InterruptController()
         self.tracer = Tracer(self.clock)  # opt-in: tracer.enabled = True
+        # Observability handles (repro.obs): causal spans and the typed
+        # metrics registry.  Both are inert until their ``enabled`` flag is
+        # set (e.g. via System(obs=True)); neither ever touches the
+        # simulated clock, so disabled runs are byte-identical.
+        self.obs = SpanRecorder(self.clock)
+        self.metrics = MetricsRegistry()
         self.memory = PhysicalMemory(total, tzasc=self.memory_guard)
+        self.memory.metrics = self.metrics  # scrub accounting hook
         # Secure MemRegion sits above normal memory, out of normal range.
         self.secure_base = self.config.normal_memory_bytes
         self.memory_guard.configure_secure_region(

@@ -5,8 +5,10 @@ from repro.metrics.report import (
     counters_table,
     format_table,
     normalize,
+    recovery_table,
     site_hit_table,
     slo_table,
+    span_tree,
 )
 from repro.metrics.tcb import TCB_GROUPS, loc_of_modules, tcb_report
 from repro.metrics.trace import TraceEvent, Tracer
@@ -18,6 +20,8 @@ __all__ = [
     "counters_table",
     "format_table",
     "normalize",
+    "recovery_table",
+    "span_tree",
     "TCB_GROUPS",
     "loc_of_modules",
     "tcb_report",

@@ -34,12 +34,18 @@ def counters_table(counters: Mapping[str, Mapping[str, object]]) -> str:
     partition fast/slow lane counts, or ring header write-backs
     (``SharedRingBuffer.stats``).  Used by ``bench_wallclock`` so the
     host-speed fast paths are observable, not asserted.
+
+    Rows are sorted by ``(layer, counter)`` so the table is deterministic
+    regardless of the order the caller assembled the dicts in.
     """
-    rows = [
-        [layer, name, value]
-        for layer, layer_counters in counters.items()
-        for name, value in layer_counters.items()
-    ]
+    rows = sorted(
+        (
+            [layer, name, value]
+            for layer, layer_counters in counters.items()
+            for name, value in layer_counters.items()
+        ),
+        key=lambda row: (str(row[0]), str(row[1])),
+    )
     return format_table(["layer", "counter", "value"], rows)
 
 
@@ -99,3 +105,56 @@ def slo_table(rows: Iterable[Mapping[str, object]]) -> str:
     return format_table(
         list(SLO_COLUMNS), [[row.get(c, "-") for c in SLO_COLUMNS] for row in rows]
     )
+
+
+def span_tree(spans: Sequence[object], *, trace_id: object = None) -> str:
+    """Render causal spans (``repro.obs``) as an indented parent/child tree.
+
+    Orphans — spans whose parent was recorded on another machine, dropped
+    by capacity, or carried in-band from a context the recorder never saw
+    locally — render as additional roots.  Siblings order by the global
+    ``seq``, so the tree is a stable total order even when spans share a
+    simulated timestamp.
+    """
+    items = [s for s in spans if trace_id is None or s.context.trace_id == trace_id]
+    items.sort(key=lambda s: s.context.seq)
+    by_id = {s.context.span_id: s for s in items}
+    children: Dict[object, List[object]] = {}
+    roots: List[object] = []
+    for span in items:
+        parent = span.context.parent_id
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines: List[str] = []
+
+    def _walk(span, depth: int) -> None:
+        end = f"{span.end_us:12.1f}" if span.end_us is not None else "     (open)  "
+        where = span.partition or "-"
+        lines.append(
+            f"[{span.start_us:12.1f} .. {end}us] "
+            f"{'  ' * depth}{span.name}  "
+            f"(trace={span.context.trace_id} span={span.context.span_id} "
+            f"part={where})"
+        )
+        for child in children.get(span.context.span_id, ()):
+            _walk(child, depth + 1)
+
+    for root in roots:
+        _walk(root, 0)
+    return "\n".join(lines)
+
+
+def recovery_table(phases: Mapping[str, float]) -> str:
+    """The per-request recovery-phase breakdown of the figure-9 path.
+
+    ``phases`` maps phase name to simulated microseconds (see
+    :func:`repro.obs.export.recovery_phases`); the canonical
+    detect → trap → scrub → reload → resubmit order is preserved and a
+    total row closes the table, so the sum is auditable against the
+    reported failover latency.
+    """
+    rows = [[phase, f"{us:.3f}"] for phase, us in phases.items()]
+    rows.append(["total", f"{sum(phases.values()):.3f}"])
+    return format_table(["phase", "time_us"], rows)

@@ -18,12 +18,18 @@ from typing import Any, List, Optional
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One trace record."""
+    """One trace record.
+
+    ``seq`` is a per-tracer monotonic sequence number: simulated time is
+    quantised (many events share one ``time_us``), so ordering assertions
+    need a total order that survives sorting and filtering.
+    """
 
     time_us: float
     component: str
     event: str
     detail: Any = None
+    seq: int = 0
 
     def __str__(self) -> str:
         extra = f" {self.detail}" if self.detail is not None else ""
@@ -40,6 +46,7 @@ class Tracer:
         self._events: List[TraceEvent] = []
         self.dropped = 0
         """Events discarded after the capacity was reached."""
+        self._seq = 0
 
     def emit(self, component: str, event: str, detail: Any = None) -> None:
         if not self.enabled:
@@ -55,22 +62,34 @@ class Tracer:
                         component="tracer",
                         event="overflow",
                         detail=f"capacity {self.capacity} reached; later events dropped",
+                        seq=self._next_seq(),
                     )
                 )
             self.dropped += 1
             return
         self._events.append(
-            TraceEvent(time_us=self._clock.now, component=component, event=event, detail=detail)
+            TraceEvent(
+                time_us=self._clock.now,
+                component=component,
+                event=event,
+                detail=detail,
+                seq=self._next_seq(),
+            )
         )
 
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
     def events(self, *, component: Optional[str] = None, event: Optional[str] = None):
-        """The recorded events, optionally filtered."""
+        """The recorded events, optionally filtered — an immutable tuple,
+        so callers cannot corrupt (or accidentally alias) the live buffer."""
         out = self._events
         if component is not None:
             out = [e for e in out if e.component == component]
         if event is not None:
             out = [e for e in out if e.event == event]
-        return list(out)
+        return tuple(out)
 
     def sequence(self) -> List[str]:
         """Just the event names, in order (for ordering assertions)."""
@@ -79,6 +98,7 @@ class Tracer:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._events)

@@ -1,0 +1,113 @@
+"""``repro.obs``: cross-mEnclave causal tracing and the unified metrics
+registry.
+
+Three pieces (see ``docs/observability.md``):
+
+* :class:`~repro.obs.span.SpanRecorder` (``platform.obs``) — causal spans
+  with in-band context propagation through sRPC, parented across partition
+  boundaries and across crash-and-failover.
+* :class:`~repro.obs.metric.MetricsRegistry` (``platform.metrics``) —
+  typed Counter/Gauge/Histogram instruments with a deterministic
+  snapshot/fingerprint, absorbing the per-layer ad-hoc counter dicts.
+* Exporters — Chrome trace-event JSON (Perfetto), the plain-text span
+  tree (:func:`repro.metrics.report.span_tree`), and the recovery-phase
+  breakdown of the figure-9 path.
+
+Everything is inert by default: with ``enabled = False`` no span or metric
+is recorded and no simulated time is ever charged, so all existing
+simulated-time tables stay byte-identical.
+"""
+
+from repro.obs.export import (
+    RECOVERY_PHASES,
+    chrome_trace,
+    recovery_phases,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.metric import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.span import NO_SPAN, Span, SpanContext, SpanRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "FlightRecorder",
+    "Span",
+    "SpanContext",
+    "SpanRecorder",
+    "NO_SPAN",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "recovery_phases",
+    "RECOVERY_PHASES",
+    "collect_system_metrics",
+    "enable",
+]
+
+
+def enable(system) -> None:
+    """Turn on both spans and metrics for a booted system."""
+    system.platform.obs.enabled = True
+    system.platform.metrics.enabled = True
+
+
+def collect_system_metrics(system) -> "MetricsRegistry":
+    """Absorb every layer's counters into the system's registry.
+
+    One call replaces the hand-rolled dict merging the wall-clock bench
+    used to do: stage-2 and SMMU TLB stats, partition fast/slow access
+    lanes, device counters, tracer and span-recorder health, and SPM grant
+    bookkeeping all land under one ``platform.metrics`` handle.  Returns
+    the registry for chaining (``collect_system_metrics(sys).fingerprint()``).
+    """
+    platform = system.platform
+    registry = platform.metrics
+    if not registry.enabled:
+        return registry
+    spm = getattr(system, "spm", None)
+    if spm is not None:
+        for partition in spm.partitions():
+            partition.stage2.absorb_into(registry)
+            registry.absorb(
+                f"partition:{partition.name}",
+                {
+                    "fast_accesses": partition.fast_accesses,
+                    "slow_accesses": partition.slow_accesses,
+                    "restarts": partition.restarts,
+                },
+            )
+            smmu_table = platform.smmu.table_for(partition.device.name)
+            smmu_table.absorb_into(registry)
+        registry.absorb(
+            "spm",
+            {
+                "grants_total": len(spm._grants),
+                "grants_active": sum(1 for g in spm._grants if g.active),
+            },
+        )
+    for device in platform.devices():
+        layer = f"device:{device.name}"
+        for attr in ("kernels_launched", "bytes_in_use", "programs_run", "calls_executed"):
+            value = getattr(device, attr, None)
+            if isinstance(value, (int, float)):
+                registry.gauge(layer, attr).set(value)
+    registry.absorb(
+        "tracer", {"events": len(platform.tracer), "dropped": platform.tracer.dropped}
+    )
+    registry.absorb(
+        "obs", {"spans": len(platform.obs), "dropped": platform.obs.dropped}
+    )
+    return registry

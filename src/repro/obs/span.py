@@ -1,0 +1,357 @@
+"""Causal spans across mEnclave boundaries.
+
+CRONUS assembles one logical computation out of many isolated mEnclaves
+talking over sRPC, so no single component ever sees a whole request.  The
+:class:`SpanRecorder` is the host-side collector every layer reports into:
+the dispatcher opens a span when it routes a request, the sRPC channel
+carries the caller's :class:`SpanContext` *in-band* inside the serialized
+record, the consumer side opens a child span in the callee's partition, and
+the SPM parents its proceed-trap recovery phases under whatever trace was
+last active on the failed partition — so one request yields a single
+parented span tree crossing partitions, including across a crash.
+
+Determinism contract (see ``docs/observability.md``):
+
+* Recording is **inert by default** (``enabled = False``) and recording
+  never advances the simulated clock, so every simulated-time table is
+  byte-identical with or without observability.
+* All identifiers (trace ids, span ids, the global ``seq``) come from
+  monotonic counters, never from wall clock or unseeded randomness, so two
+  same-seed runs produce identical span trees and identical exported JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.flight import FlightRecorder
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The in-band propagated identity of one span.
+
+    ``seq`` is a recorder-global monotonic sequence number: spans sharing
+    one simulated timestamp still have a stable total order.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_id: Optional[int]
+    seq: int
+
+    def wire(self) -> Tuple[int, int]:
+        """The (trace_id, span_id) pair carried inside sRPC records."""
+        return (self.trace_id, self.span_id)
+
+
+class Span:
+    """One recorded operation: a named interval inside a trace."""
+
+    __slots__ = (
+        "context", "name", "category", "partition", "enclave",
+        "start_us", "end_us", "attrs",
+    )
+
+    def __init__(
+        self,
+        context: SpanContext,
+        name: str,
+        category: str,
+        partition: Optional[str],
+        enclave: Optional[str],
+        start_us: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.context = context
+        self.name = name
+        self.category = category
+        self.partition = partition
+        self.enclave = enclave
+        self.start_us = start_us
+        self.end_us: Optional[float] = None
+        self.attrs = attrs
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us if self.end_us is not None else self.start_us) - self.start_us
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.context.trace_id}, "
+            f"id={self.context.span_id}, parent={self.context.parent_id}, "
+            f"[{self.start_us:.1f}, {self.end_us if self.end_us is not None else '...'}])"
+        )
+
+
+class _NullSpan:
+    """Returned by a disabled recorder so call sites need no None checks."""
+
+    __slots__ = ()
+    context = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_SPAN"
+
+
+NO_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Collects causal spans when enabled; free when disabled.
+
+    The recorder keeps three structures:
+
+    * the full span list (bounded by ``capacity``, with a ``dropped``
+      counter like the event tracer's),
+    * a per-partition map of the *last context active on that partition*
+      (``note_partition``), which the SPM uses to parent recovery spans
+      under the request that was running when the partition died,
+    * a :class:`~repro.obs.flight.FlightRecorder` ring of the last N
+      closed spans, dumped by the failover path when a partition crashes.
+    """
+
+    def __init__(
+        self,
+        clock,
+        *,
+        enabled: bool = False,
+        capacity: int = 250_000,
+        flight_capacity: int = 64,
+    ) -> None:
+        self._clock = clock
+        self.enabled = enabled
+        self.capacity = capacity
+        self._spans: List[Span] = []
+        self._stack: List[SpanContext] = []
+        self._next_trace = 1
+        self._next_span = 1
+        self._seq = 0
+        self.dropped = 0
+        self.flight = FlightRecorder(flight_capacity)
+        self._partition_last: Dict[str, SpanContext] = {}
+        self.flight_dumps: List[Tuple[float, str, str, Tuple[Span, ...]]] = []
+
+    # -- context plumbing --------------------------------------------------
+    def _resolve_parent(self, parent) -> Optional[SpanContext]:
+        if parent is None:
+            return self._stack[-1] if self._stack else None
+        if isinstance(parent, Span):
+            return parent.context
+        if isinstance(parent, SpanContext):
+            return parent
+        if isinstance(parent, tuple):  # the in-band (trace_id, span_id) pair
+            return SpanContext(trace_id=parent[0], span_id=parent[1], parent_id=None, seq=-1)
+        return None
+
+    def _make_context(self, parent: Optional[SpanContext]) -> SpanContext:
+        self._seq += 1
+        span_id = self._next_span
+        self._next_span += 1
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return SpanContext(trace_id=trace_id, span_id=span_id, parent_id=parent_id, seq=self._seq)
+
+    def current(self) -> Optional[SpanContext]:
+        """The innermost open span context, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def attach(self, context: Optional[SpanContext]):
+        """Context manager pushing a *foreign* context (e.g. a task's root
+        span) so spans opened inside parent under it."""
+        return _Attached(self, context)
+
+    # -- recording ---------------------------------------------------------
+    def begin(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        parent=None,
+        partition: Optional[str] = None,
+        enclave: Optional[str] = None,
+        ts: Optional[float] = None,
+        detached: bool = False,
+        **attrs: Any,
+    ):
+        """Open a span and push it onto the context stack.
+
+        Must be balanced by :meth:`end`.  Returns :data:`NO_SPAN` when
+        disabled or over capacity — :meth:`end` accepts it silently.
+
+        ``detached=True`` skips the stack push: for long-lived roots (a
+        task that interleaves with others) whose children are adopted
+        explicitly via :meth:`attach` instead of lexical nesting.
+        """
+        if not self.enabled:
+            return NO_SPAN
+        if len(self._spans) >= self.capacity:
+            self.dropped += 1
+            return NO_SPAN
+        ctx = self._make_context(self._resolve_parent(parent))
+        span = Span(
+            ctx, name, category, partition, enclave,
+            self._clock.now if ts is None else ts, dict(attrs),
+        )
+        self._spans.append(span)
+        if not detached:
+            self._stack.append(ctx)
+        if partition is not None:
+            self._partition_last[partition] = ctx
+        return span
+
+    def end(self, span, *, ts: Optional[float] = None, **attrs: Any) -> None:
+        """Close a span opened with :meth:`begin` (LIFO; tolerant of spans
+        abandoned by an exception unwinding several frames at once)."""
+        if span is NO_SPAN or not isinstance(span, Span):
+            return
+        if span.context in self._stack:
+            # LIFO pop; a detached (never-pushed) span leaves the stack
+            # alone, and spans abandoned by an exception unwinding several
+            # frames at once are popped along the way.
+            while self._stack:
+                if self._stack.pop() is span.context:
+                    break
+        span.end_us = self._clock.now if ts is None else ts
+        if attrs:
+            span.attrs.update(attrs)
+        self.flight.push(span)
+
+    def record(
+        self,
+        name: str,
+        *,
+        start_us: float,
+        end_us: float,
+        category: str = "",
+        parent=None,
+        partition: Optional[str] = None,
+        enclave: Optional[str] = None,
+        **attrs: Any,
+    ):
+        """Record an already-finished interval (no stack interaction) —
+        e.g. the consumer-timeline execution window of an sRPC record,
+        whose start/end are known only after the submit."""
+        if not self.enabled:
+            return NO_SPAN
+        if len(self._spans) >= self.capacity:
+            self.dropped += 1
+            return NO_SPAN
+        ctx = self._make_context(self._resolve_parent(parent))
+        span = Span(ctx, name, category, partition, enclave, start_us, dict(attrs))
+        span.end_us = end_us
+        self._spans.append(span)
+        if partition is not None:
+            self._partition_last[partition] = ctx
+        self.flight.push(span)
+        return span
+
+    def event(
+        self,
+        name: str,
+        *,
+        category: str = "",
+        parent=None,
+        partition: Optional[str] = None,
+        enclave: Optional[str] = None,
+        ts: Optional[float] = None,
+        **attrs: Any,
+    ):
+        """A zero-duration span (instantaneous marker)."""
+        when = self._clock.now if ts is None else ts
+        return self.record(
+            name, start_us=when, end_us=when, category=category, parent=parent,
+            partition=partition, enclave=enclave, **attrs,
+        )
+
+    # -- partition activity (crash parenting) ------------------------------
+    def note_partition(self, partition: str, context: Optional[SpanContext]) -> None:
+        """Remember the last span context active on ``partition`` so a
+        later crash can parent its recovery spans under that trace."""
+        if context is not None:
+            self._partition_last[partition] = context
+
+    def partition_context(self, partition: str) -> Optional[SpanContext]:
+        return self._partition_last.get(partition)
+
+    def dump_flight(self, partition: str, reason: str) -> Tuple[Span, ...]:
+        """Snapshot the flight ring into ``flight_dumps`` (the failover
+        path calls this before scrubbing a crashed partition, so the last
+        N spans leading up to the crash survive it)."""
+        snapshot = self.flight.snapshot()
+        if self.enabled:
+            self.flight_dumps.append((self._clock.now, partition, reason, snapshot))
+        return snapshot
+
+    # -- introspection -----------------------------------------------------
+    def spans(
+        self,
+        *,
+        trace_id: Optional[int] = None,
+        category: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> Tuple[Span, ...]:
+        out = self._spans
+        if trace_id is not None:
+            out = [s for s in out if s.context.trace_id == trace_id]
+        if category is not None:
+            out = [s for s in out if s.category == category]
+        if name is not None:
+            out = [s for s in out if s.name == name]
+        return tuple(out)
+
+    def span_by_id(self, span_id: int) -> Optional[Span]:
+        for span in self._spans:
+            if span.context.span_id == span_id:
+                return span
+        return None
+
+    def trace_ids(self) -> Tuple[int, ...]:
+        seen: List[int] = []
+        for span in self._spans:
+            if span.context.trace_id not in seen:
+                seen.append(span.context.trace_id)
+        return tuple(seen)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self._stack.clear()
+        self._partition_last.clear()
+        self.flight_dumps.clear()
+        self.flight.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class _Attached:
+    """The ``attach`` context manager: push a foreign context, pop on exit."""
+
+    __slots__ = ("_recorder", "_context", "_pushed")
+
+    def __init__(self, recorder: SpanRecorder, context: Optional[SpanContext]) -> None:
+        self._recorder = recorder
+        self._context = context
+        self._pushed = False
+
+    def __enter__(self) -> "_Attached":
+        if self._recorder.enabled and self._context is not None:
+            self._recorder._stack.append(self._context)
+            self._pushed = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._pushed:
+            stack = self._recorder._stack
+            if self._context in stack:
+                # Tolerate spans abandoned by exceptions above us.
+                while stack:
+                    if stack.pop() is self._context:
+                        break

@@ -35,6 +35,7 @@ from repro.enclave.models import ExecutionError
 from repro.faults import injector as _faults
 from repro.hw.memory import PAGE_SIZE
 from repro.hw.pagetable import PageFault
+from repro.obs.span import NO_SPAN
 from repro.rpc.ringbuffer import RingBufferError, SharedRingBuffer
 from repro.secure.partition import Partition, PartitionState, PeerFailedSignal
 from repro.secure.spm import SPMError
@@ -133,6 +134,10 @@ class _Stream:
             self._channel._platform.clock.advance(costs.thread_spawn_us)
             self.thread_started = True
         self._channel._platform.clock.advance(costs.srpc_enqueue_us(len(record)))
+        metrics = self._channel._platform.metrics
+        if metrics.enabled:
+            metrics.counter("srpc", "enqueued").inc()
+            metrics.histogram("srpc", "record_bytes").observe(len(record))
         duplicate = False
         if _faults.ACTIVE is not None:
             act = _faults.ACTIVE.fire(
@@ -187,14 +192,42 @@ class _Stream:
         if record is None:
             self._raise_drain_failure("consumer found an empty ring", cause=None)
         try:
-            fn, args, kwargs = pickle.loads(record)
+            # Records carry an optional 4th element: the in-band span
+            # context ``(trace_id, span_id)`` appended by the producer when
+            # observability is enabled (section IV-C's framing is opaque to
+            # the ring, so the tuple length is the version signal).
+            payload = pickle.loads(record)
+            if len(payload) == 4:
+                fn, args, kwargs, ctx = payload
+            else:
+                fn, args, kwargs = payload
+                ctx = None
         except Exception as exc:  # unpickling garbage raises a zoo of types
             self._raise_drain_failure(f"undecodable record ({exc!r})", cause=exc)
         costs = self._channel._platform.costs
-        self.consumer.submit(
+        completion = self.consumer.submit(
             costs.enclave_entry_us
             + costs.copy_cost_us(len(record), per_kib=costs.smem_us_per_kib)
         )
+        obs = self._channel._platform.obs
+        if obs.enabled and ctx is not None:
+            # The consumer-side execution window, parented on the caller's
+            # in-band context: this is the span that crosses the mEnclave
+            # (and partition) boundary.  ``record`` also marks this trace as
+            # the last one active on the callee's partition, so a crash
+            # parents its recovery spans here.
+            callee = self._channel.callee
+            obs.record(
+                "srpc.execute",
+                start_us=self.consumer.last_start,
+                end_us=completion,
+                category="srpc",
+                parent=tuple(ctx),
+                partition=callee.partition.name,
+                enclave=f"{callee.enclave.eid:#010x}",
+                fn=fn,
+                stream=self.stream_id,
+            )
         result = self._channel.callee.enclave.mecall_trusted(fn, args, kwargs)
         self.ring.bump_sid()
         return result
@@ -349,6 +382,19 @@ class SRPCChannel:
             "srpc", "channel-open",
             f"{getattr(caller.enclave, 'eid', 0):#010x} -> {callee.enclave.eid:#010x}",
         )
+        if self._platform.obs.enabled:
+            self._platform.obs.event(
+                "srpc.channel-open",
+                category="srpc",
+                partition=(
+                    caller.partition.name if caller.partition is not None else None
+                ),
+                caller_eid=f"{getattr(caller.enclave, 'eid', 0):#010x}",
+                callee_eid=f"{callee.enclave.eid:#010x}",
+                callee_partition=callee.partition.name,
+            )
+        if self._platform.metrics.enabled:
+            self._platform.metrics.counter("srpc", "channels_opened").inc()
 
     # -- setup steps ------------------------------------------------------
     def _attest_peer(self, expected_measurement: Optional[bytes]) -> None:
@@ -377,7 +423,31 @@ class SRPCChannel:
         """Issue one mECall on ``stream``; blocks only if it is synchronous."""
         self._require_usable()
         synchronous = self.callee.enclave.is_synchronous(fn)
-        record = pickle.dumps((fn, args, kwargs))
+        obs = self._platform.obs
+        span = NO_SPAN
+        if obs.enabled:
+            span = obs.begin(
+                "srpc.call",
+                category="srpc",
+                partition=(
+                    self.caller.partition.name
+                    if self.caller.partition is not None
+                    else None
+                ),
+                fn=fn,
+                stream=stream,
+                sync=synchronous,
+            )
+        if span is not NO_SPAN:
+            # In-band context propagation: the producer appends its span's
+            # (trace_id, span_id) to the serialized record, so the callee's
+            # partition parents its execution span under this call without
+            # any out-of-band channel.  Only when enabled — the record
+            # bytes (and therefore the enqueue costs) are untouched on
+            # disabled runs.
+            record = pickle.dumps((fn, args, kwargs, span.context.wire()))
+        else:
+            record = pickle.dumps((fn, args, kwargs))
         try:
             s = self.stream(stream)
             s.enqueue(record)
@@ -390,10 +460,14 @@ class SRPCChannel:
                     raise ChannelError(
                         f"streamCheck failed: Rid={s.ring.rid} Sid={s.ring.sid}"
                     )
-                return s.read_mailbox_result(result)
+                out = s.read_mailbox_result(result)
+                obs.end(span, outcome="ok")
+                return out
+            obs.end(span, outcome="ok")
             return None
         except PeerFailedSignal as signal:
             self._on_peer_failure(signal)
+            obs.end(span, outcome="peer-failed", peer=signal.peer_partition)
             raise SRPCPeerFailure(signal.peer_partition) from signal
         except ExecutionError as exc:
             if "destroyed" in str(exc):
@@ -402,7 +476,12 @@ class SRPCChannel:
                 self._failed_peer = f"enclave {self.callee.enclave.eid:#010x}"
                 for s in self._streams.values():
                     s.consumer.reset()
+                obs.end(span, outcome="enclave-destroyed")
                 raise SRPCPeerFailure(self._failed_peer) from exc
+            obs.end(span, outcome="error")
+            raise
+        except Exception:
+            obs.end(span, outcome="error")
             raise
 
     # -- failure + teardown -------------------------------------------------------

@@ -29,6 +29,8 @@ class Batch:
     device_name: str
     requests: List[Request]
     formed_us: float
+    reason: str = ""
+    """Why the batch flushed: ``"full"``, ``"due"``, or ``""`` (unknown)."""
 
     def __len__(self) -> int:
         return len(self.requests)
@@ -90,7 +92,9 @@ class DeadlineBatcher:
         due = [(t, d) for t, d in due if t is not None]
         return min(due) if due else None
 
-    def flush(self, device_name: str, now_us: float) -> Optional[Batch]:
+    def flush(
+        self, device_name: str, now_us: float, *, reason: str = ""
+    ) -> Optional[Batch]:
         """Form the batch for ``device_name`` (EDF order), or None."""
         pending = self._pending.pop(device_name, None)
         if not pending:
@@ -99,7 +103,12 @@ class DeadlineBatcher:
         requests.sort(key=lambda r: (r.deadline_us, r.rid))
         self.batches_formed += 1
         self.requests_batched += len(requests)
-        return Batch(device_name=device_name, requests=requests, formed_us=now_us)
+        return Batch(
+            device_name=device_name,
+            requests=requests,
+            formed_us=now_us,
+            reason=reason,
+        )
 
     def due_partitions(self, now_us: float) -> List[str]:
         """Partitions whose batches must flush at or before ``now_us``."""

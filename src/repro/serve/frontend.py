@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.dispatch.dispatcher import DispatchError, NoReadyPartition
+from repro.obs.span import NO_SPAN
 from repro.rpc.channel import SRPCPeerFailure
 from repro.secure.spm import SPMError
 from repro.serve.admission import (
@@ -196,6 +197,10 @@ class ServingSystem:
         self.crashes: List[str] = []
         self.wrong_results = 0
         self.duplicates_avoided = 0
+        self._obs = system.platform.obs
+        self._metrics = system.platform.metrics
+        self._request_spans: Dict[str, object] = {}
+        """rid -> open request root span (serving virtual-time axis)."""
 
     # -- tenants -----------------------------------------------------------
     def add_tenant(self, spec: TenantSpec) -> Tenant:
@@ -255,12 +260,32 @@ class ServingSystem:
                 f"request {request.rid!r}: only device_type='gpu' is servable"
             )
         self.slo.record_offered(request)
+        span = NO_SPAN
+        if self._obs.enabled:
+            # Request roots live on the serving layer's *virtual* event
+            # axis, so every serve-span timestamp is passed explicitly —
+            # never read off the platform clock.
+            span = self._obs.begin(
+                "serve.request", category="serve", detached=True,
+                ts=request.arrival_us, rid=request.rid, tenant=request.tenant,
+                size=request.size, deadline_us=request.deadline_us,
+            )
         decision = self.admission.offer(request, request.arrival_us)
         if not decision.admitted:
             self.slo.record_rejected(request, decision.reason)
+            self._obs.end(
+                span, ts=request.arrival_us, outcome="rejected",
+                reason=decision.reason,
+            )
+            if self._metrics.enabled:
+                self._metrics.counter("serve", "rejected").inc()
             return decision
         self.slo.record_admitted(request)
         self._admitted.add(request.rid)
+        if span is not NO_SPAN:
+            self._request_spans[request.rid] = span
+        if self._metrics.enabled:
+            self._metrics.counter("serve", "admitted").inc()
         self._place(request)
         return decision
 
@@ -276,19 +301,34 @@ class ServingSystem:
             )
         except NoReadyPartition:
             self._parked.append(request)
+            if self._obs.enabled:
+                self._obs.event(
+                    "serve.park", category="serve", ts=self._now,
+                    parent=self._request_context(request.rid), rid=request.rid,
+                )
+            if self._metrics.enabled:
+                self._metrics.counter("serve", "parked").inc()
             return
         except DispatchError:
             # No partition manages such a device at all: terminal.
             self.slo.record_rejected(request, REJECT_NO_PARTITION)
             self.admission.settle(request)
             self._rejected_after_admit.add(request.rid)
+            self._obs.end(
+                self._request_spans.pop(request.rid, NO_SPAN),
+                ts=self._now, outcome="rejected", reason=REJECT_NO_PARTITION,
+            )
             return
         device = mos.partition.device.name
         if self.batcher.add(device, request, self._now):
-            self._flush(device)
+            self._flush(device, reason="full")
 
-    def _flush(self, device: str) -> None:
-        batch = self.batcher.flush(device, self._now)
+    def _request_context(self, rid: str):
+        span = self._request_spans.get(rid)
+        return getattr(span, "context", None)
+
+    def _flush(self, device: str, *, reason: str = "due") -> None:
+        batch = self.batcher.flush(device, self._now, reason=reason)
         if batch is not None:
             self._execute_batch(batch)
 
@@ -306,6 +346,17 @@ class ServingSystem:
         cum = 0.0
         leftover: List[Request] = []
         crashed = False
+        obs_on = self._obs.enabled
+        partition = (
+            self.system.spm.partition_for_device(device).name if obs_on else None
+        )
+        batch_span = NO_SPAN
+        if obs_on:
+            batch_span = self._obs.begin(
+                "serve.batch", category="serve", detached=True, ts=start,
+                partition=partition, device=device, size=len(batch.requests),
+                reason=batch.reason,
+            )
         setup_start = clock.now
         try:
             worker.ensure_runtime()
@@ -324,6 +375,7 @@ class ServingSystem:
                 if start + cum > request.deadline_us:
                     self._expire(request)
                     continue
+                exec_start = start + cum
                 try:
                     service, correct, crashed_after = worker.run_request(request)
                 except (SRPCPeerFailure, NoReadyPartition, SPMError):
@@ -331,12 +383,27 @@ class ServingSystem:
                     leftover = [request] + list(batch.requests[index + 1:])
                     break
                 cum += service
+                if obs_on:
+                    self._obs.record(
+                        "serve.execute", category="serve",
+                        start_us=exec_start, end_us=start + cum,
+                        parent=self._request_context(request.rid),
+                        partition=partition, rid=request.rid,
+                        batch_span=getattr(batch_span, "context", None)
+                        and batch_span.context.span_id,
+                    )
+                if self._metrics.enabled:
+                    self._metrics.histogram("serve", "service_us").observe(service)
                 self._complete(request, start + cum, correct)
                 if crashed_after:
                     crashed = True
                     leftover = list(batch.requests[index + 1:])
                     break
         self._free_at[device] = start + cum
+        self._obs.end(batch_span, ts=start + cum, crashed=crashed)
+        if self._metrics.enabled:
+            self._metrics.counter("serve", "batches").inc()
+            self._metrics.histogram("serve", "batch_us").observe(cum)
         if crashed:
             self._handle_worker_failure(device, leftover)
 
@@ -346,11 +413,26 @@ class ServingSystem:
             self.wrong_results += 1
         self.slo.record_completed(request, completion_us)
         self.admission.settle(request)
+        self._obs.end(
+            self._request_spans.pop(request.rid, NO_SPAN),
+            ts=completion_us, outcome="completed", correct=correct,
+        )
+        if self._metrics.enabled:
+            self._metrics.counter("serve", "completed").inc()
+            self._metrics.histogram("serve", "latency_us").observe(
+                completion_us - request.arrival_us
+            )
 
     def _expire(self, request: Request) -> None:
         self._expired.add(request.rid)
         self.slo.record_expired(request)
         self.admission.settle(request)
+        self._obs.end(
+            self._request_spans.pop(request.rid, NO_SPAN),
+            ts=self._now, outcome="expired",
+        )
+        if self._metrics.enabled:
+            self._metrics.counter("serve", "expired").inc()
 
     # -- failure handling --------------------------------------------------
     def crash_partition(self, device: str) -> float:
@@ -368,6 +450,13 @@ class ServingSystem:
         ready_at = self._now + rec.total_us
         self._down_until[device] = ready_at
         self.crashes.append(device)
+        if self._obs.enabled:
+            self._obs.event(
+                "serve.crash", category="serve", ts=self._now,
+                device=device, ready_at_us=ready_at,
+            )
+        if self._metrics.enabled:
+            self._metrics.counter("serve", "crashes").inc()
         self._handle_worker_failure(device, [])
         return ready_at
 
@@ -385,6 +474,14 @@ class ServingSystem:
         rec = self.system.fail_partition(device, background=True)
         self._down_until[device] = self._now + rec.total_us
         self.crashes.append(device)
+        if self._obs.enabled:
+            self._obs.event(
+                "serve.crash", category="serve", ts=self._now,
+                device=device, ready_at_us=self._down_until[device],
+                injected=True,
+            )
+        if self._metrics.enabled:
+            self._metrics.counter("serve", "crashes").inc()
 
     def _handle_worker_failure(self, device: str, leftover: List[Request]) -> None:
         """Abandon the worker and re-queue admitted-but-unfinished work."""
@@ -396,6 +493,14 @@ class ServingSystem:
             requeue.extend(self.batcher.evict(device))
         for request in requeue:
             self.slo.record_requeued(request)
+            if self._obs.enabled:
+                self._obs.event(
+                    "serve.requeue", category="serve", ts=self._now,
+                    parent=self._request_context(request.rid),
+                    rid=request.rid, from_device=device,
+                )
+            if self._metrics.enabled:
+                self._metrics.counter("serve", "requeued").inc()
             self._place(request)
 
     def _process_recoveries(self) -> None:
@@ -414,6 +519,17 @@ class ServingSystem:
 
     # -- reporting ---------------------------------------------------------
     def report(self) -> ServingReport:
+        if self._metrics.enabled:
+            self._metrics.absorb("serve.batcher", self.batcher.stats)
+            for device, worker in sorted(self._workers.items()):
+                self._metrics.absorb(
+                    f"serve.worker:{device}",
+                    {
+                        "batches": worker.batches,
+                        "requests": worker.calls,
+                        "generations": worker.generation,
+                    },
+                )
         return ServingReport(
             slo_text=self.slo.table(),
             fingerprint=self.slo.fingerprint(),

@@ -35,6 +35,9 @@ class Timeline:
         self._available_at = clock.now
         self._busy_us = 0.0
         self._submitted = 0
+        self.last_start = clock.now
+        """Start instant of the most recent submit (the execution window's
+        left edge; observability records consumer spans from it)."""
         # Completion-time logging is opt-in: long-lived timelines (sRPC
         # consumers, GPU streams) see millions of submits, and an unbounded
         # log would grow without limit.  Metrics that need the instants pass
@@ -67,6 +70,7 @@ class Timeline:
         start = max(self._available_at, self._clock.now)
         if not_before is not None:
             start = max(start, not_before)
+        self.last_start = start
         self._available_at = start + duration_us
         self._busy_us += duration_us
         self._submitted += 1

@@ -157,10 +157,19 @@ class System:
     security_isolated = False
 
     def __init__(
-        self, testbed: Optional[TestbedConfig] = None, *, costs=None, trace: bool = False
+        self,
+        testbed: Optional[TestbedConfig] = None,
+        *,
+        costs=None,
+        trace: bool = False,
+        obs: bool = False,
     ) -> None:
         self.platform = make_platform(testbed, costs=costs)
         self.platform.tracer.enabled = trace
+        # ``obs=True`` turns on causal spans and the typed metrics registry
+        # (repro.obs).  Neither advances the simulated clock.
+        self.platform.obs.enabled = obs
+        self.platform.metrics.enabled = obs
 
     @property
     def clock(self):
@@ -320,8 +329,10 @@ class HixTrustZone(BaselineSystem):
     fault_isolated = False
     security_isolated = False
 
-    def __init__(self, testbed=None, *, costs=None, trace: bool = False) -> None:
-        super().__init__(testbed, costs=costs, trace=trace)
+    def __init__(
+        self, testbed=None, *, costs=None, trace: bool = False, obs: bool = False
+    ) -> None:
+        super().__init__(testbed, costs=costs, trace=trace, obs=obs)
         self._gpu_busy = False
         self._had_tenant = False
         self.transport = UntrustedTransport()

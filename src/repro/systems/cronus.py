@@ -48,8 +48,9 @@ class CronusSystem(System):
         costs=None,
         rpc_mode: str = "srpc",
         trace: bool = False,
+        obs: bool = False,
     ) -> None:
-        super().__init__(testbed, costs=costs, trace=trace)
+        super().__init__(testbed, costs=costs, trace=trace, obs=obs)
         self.rpc_mode = rpc_mode
         # Normal-world boot: hand the DT to the monitor, then bring up SPM
         # and one mOS per secure device.
