@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI gate: validate a ``BENCH_scale.json`` document against its contract.
+
+The scale benchmark (``benchmarks/bench_scale.py``) records the raw-speed
+trajectory of the heap serving engine against the legacy scan engine.
+This checker is deliberately self-contained — it is the published schema
+*contract*, independent of the generator — and verifies:
+
+* the ``cronus.bench_scale/v1`` envelope (schema tag, config, rows,
+  equivalence, speedup) with required keys and sane types throughout;
+* every measured row carries positive wall-clock/throughput numbers and a
+  64-hex SLO fingerprint;
+* every scale point both engines ran has **byte-identical** fingerprints
+  (``fingerprints_equal`` recorded true, and the row fingerprints agree);
+* the heap engine's rows cover every legacy row's scale point, and the
+  speedup block references a point that was actually measured.
+
+Usage: ``python scripts/check_bench_schema.py [BENCH_scale.json]``
+Exit status 0 = the document honours the contract.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = "cronus.bench_scale/v1"
+ENGINES = ("heap", "legacy")
+ROW_FIELDS = {
+    "engine": str,
+    "arrivals": int,
+    "tenants": int,
+    "devices": int,
+    "wall_s": (int, float),
+    "req_per_s": (int, float),
+    "completed": int,
+    "expired": int,
+    "fingerprint": str,
+}
+CONFIG_FIELDS = {
+    "devices": int,
+    "max_batch": int,
+    "max_delay_us": (int, float),
+    "mean_rate_rps": (int, float),
+    "tenants": int,
+    "seed": int,
+    "service_model": str,
+}
+SPEEDUP_FIELDS = {
+    "arrivals": int,
+    "heap_req_per_s": (int, float),
+    "legacy_req_per_s": (int, float),
+    "ratio": (int, float),
+}
+
+
+def _check_fields(obj, fields, where, failures):
+    if not isinstance(obj, dict):
+        failures.append(f"{where}: expected an object, got {type(obj).__name__}")
+        return False
+    for key, types in fields.items():
+        if key not in obj:
+            failures.append(f"{where}: missing key {key!r}")
+        elif not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            failures.append(
+                f"{where}: {key!r} has type {type(obj[key]).__name__}"
+            )
+    return True
+
+
+def _is_fingerprint(value) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == 64
+        and all(c in "0123456789abcdef" for c in value)
+    )
+
+
+def validate(doc) -> list:
+    """All contract violations in ``doc`` (empty list = valid)."""
+    failures = []
+    if not isinstance(doc, dict):
+        return [f"document root must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCHEMA:
+        failures.append(f"schema tag {doc.get('schema')!r} != {SCHEMA!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        failures.append(f"mode {doc.get('mode')!r} must be 'full' or 'smoke'")
+    _check_fields(doc.get("config"), CONFIG_FIELDS, "config", failures)
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        failures.append("rows must be a non-empty list")
+        rows = []
+    by_key = {}
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not _check_fields(row, ROW_FIELDS, where, failures):
+            continue
+        if row.get("engine") not in ENGINES:
+            failures.append(f"{where}: engine {row.get('engine')!r} not in {ENGINES}")
+        if not _is_fingerprint(row.get("fingerprint")):
+            failures.append(f"{where}: fingerprint is not 64 hex chars")
+        for key in ("arrivals", "wall_s", "req_per_s"):
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                failures.append(f"{where}: {key} must be positive, got {value}")
+        by_key[(row.get("engine"), row.get("arrivals"))] = row
+
+    legacy_points = sorted(a for (e, a) in by_key if e == "legacy")
+    for arrivals in legacy_points:
+        if ("heap", arrivals) not in by_key:
+            failures.append(f"legacy row at {arrivals} arrivals has no heap row")
+
+    equivalence = doc.get("equivalence")
+    if not isinstance(equivalence, list) or not equivalence:
+        failures.append("equivalence must be a non-empty list")
+        equivalence = []
+    for i, point in enumerate(equivalence):
+        where = f"equivalence[{i}]"
+        if not isinstance(point, dict):
+            failures.append(f"{where}: expected an object")
+            continue
+        arrivals = point.get("arrivals")
+        if point.get("fingerprints_equal") is not True:
+            failures.append(f"{where}: engines diverged at {arrivals} arrivals")
+        heap = by_key.get(("heap", arrivals))
+        legacy = by_key.get(("legacy", arrivals))
+        if heap is None or legacy is None:
+            failures.append(f"{where}: no measured row pair at {arrivals} arrivals")
+        elif heap.get("fingerprint") != legacy.get("fingerprint"):
+            failures.append(
+                f"{where}: recorded equal but row fingerprints differ at "
+                f"{arrivals} arrivals"
+            )
+
+    speedup = doc.get("speedup")
+    if _check_fields(speedup, SPEEDUP_FIELDS, "speedup", failures):
+        point = speedup.get("arrivals")
+        if ("heap", point) not in by_key or ("legacy", point) not in by_key:
+            failures.append(f"speedup references unmeasured point {point!r}")
+        ratio = speedup.get("ratio")
+        if isinstance(ratio, (int, float)) and ratio <= 0:
+            failures.append(f"speedup ratio must be positive, got {ratio}")
+    return failures
+
+
+def main(argv) -> int:
+    path = argv[1] if len(argv) > 1 else "BENCH_scale.json"
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"FAIL: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+
+    failures = validate(doc)
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+
+    rows = doc["rows"]
+    heap_max = max(r["arrivals"] for r in rows if r["engine"] == "heap")
+    speed = doc["speedup"]
+    print(
+        f"bench schema ok: {len(rows)} rows to {heap_max:,} arrivals, "
+        f"{len(doc['equivalence'])} equivalence points, "
+        f"{speed['ratio']}x at {speed['arrivals']:,}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

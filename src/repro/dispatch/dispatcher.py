@@ -39,6 +39,13 @@ class EnclaveDispatcher:
     def register(self, mos: MicroOS) -> None:
         self._moses.append(mos)
 
+    @property
+    def registered(self) -> int:
+        """How many mOSes have been registered (registration is
+        append-only, so this doubles as a cheap change-detection version
+        for callers that index the routing table — the serving placer)."""
+        return len(self._moses)
+
     def moses(self) -> List[MicroOS]:
         return list(self._moses)
 

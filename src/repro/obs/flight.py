@@ -18,6 +18,8 @@ from typing import Deque, Tuple
 class FlightRecorder:
     """Keeps the last ``capacity`` closed spans, oldest evicted first."""
 
+    __slots__ = ("capacity", "_ring", "pushed")
+
     def __init__(self, capacity: int = 64) -> None:
         if capacity < 1:
             raise ValueError(f"flight recorder capacity must be positive, got {capacity}")

@@ -22,6 +22,13 @@ package builds the serving subsystem on top of them:
   mid-request with at-most-once completion.
 * :mod:`repro.serve.slo` — per-tenant SLO accounting (latency percentiles,
   goodput, rejection/expiry counts) rendered by ``metrics.report``.
+* :mod:`repro.serve.loadgen` — seeded trace-driven load generation at
+  million-user scale: Zipf tenant popularity, diurnal/bursty arrival
+  envelopes, heavy-tailed op sizes, plus the synthetic service-time model
+  the scale benchmark runs both engines under.
+* :mod:`repro.serve.legacy` — the pre-heap scan engine, preserved
+  verbatim for the scheduler-equivalence suite and the scale benchmark's
+  baseline (deliberately not exported here).
 """
 
 from repro.serve.admission import (
@@ -37,6 +44,14 @@ from repro.serve.admission import (
 )
 from repro.serve.batcher import Batch, DeadlineBatcher
 from repro.serve.frontend import ServingReport, ServingSystem
+from repro.serve.loadgen import (
+    LoadProfile,
+    generate_trace,
+    iter_trace_chunks,
+    synthetic_service_model,
+    tenant_specs,
+    zipf_weights,
+)
 from repro.serve.placement import PlacementError, SpatialPlacer
 from repro.serve.slo import SLOAccount, SLOTracker
 from repro.serve.tenants import Tenant, TenantError, TenantRegistry, TenantSpec
@@ -46,6 +61,7 @@ __all__ = [
     "AdmissionDecision",
     "Batch",
     "DeadlineBatcher",
+    "LoadProfile",
     "PlacementError",
     "REJECT_NO_PARTITION",
     "REJECT_QUEUE_FULL",
@@ -62,5 +78,10 @@ __all__ = [
     "TenantError",
     "TenantRegistry",
     "TenantSpec",
+    "generate_trace",
+    "iter_trace_chunks",
     "open_loop_arrivals",
+    "synthetic_service_model",
+    "tenant_specs",
+    "zipf_weights",
 ]

@@ -12,17 +12,32 @@ deadline among its requests arrives (deadline pressure: waiting any longer
 could only create expirations).  Within a batch, requests execute in
 earliest-deadline-first order with the request id as the deterministic
 tie-break.
+
+Host-speed design (the raw-speed engine refactor): each partition keeps an
+**EDF heap** keyed ``(deadline, rid, seq)`` plus an O(1) incrementally
+maintained due time (oldest enqueue instant and minimum deadline only ever
+tighten between flushes, and a flush or evict drops the whole queue), and
+a **global due-time heap with lazy deletion** orders the flush obligations
+across partitions.  ``earliest_due`` is O(1) amortized and
+``due_partitions`` early-outs without touching any per-partition state
+when nothing is due — the pre-heap implementation re-sorted every pending
+queue on every poll of the serving loop, which made one simulated second
+cost O(events · pending) host work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+import sys
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.serve.admission import Request
 
+_DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**_DATACLASS_SLOTS)
 class Batch:
     """One flushed group of requests bound for a single partition."""
 
@@ -36,6 +51,26 @@ class Batch:
         return len(self.requests)
 
 
+class _DeviceQueue:
+    """One partition's pending requests between two flushes.
+
+    Requests only ever *join* a queue; removal is whole-queue (flush or
+    crash-evict), so the due-time inputs — the oldest enqueue instant and
+    the minimum deadline — are exact running minima, no lazy repair needed.
+    """
+
+    __slots__ = ("edf", "order", "oldest_us", "min_deadline_us")
+
+    def __init__(self) -> None:
+        self.edf: List[Tuple[float, str, int, Request]] = []
+        self.order: List[Request] = []
+        self.oldest_us = float("inf")
+        self.min_deadline_us = float("inf")
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
 class DeadlineBatcher:
     """Per-partition pending queues with max-batch/max-delay/deadline flush."""
 
@@ -46,61 +81,89 @@ class DeadlineBatcher:
             raise ValueError(f"max_delay_us must be non-negative, got {max_delay_us}")
         self.max_batch = max_batch
         self.max_delay_us = max_delay_us
-        self._pending: Dict[str, List[Tuple[float, Request]]] = {}
+        self._queues: Dict[str, _DeviceQueue] = {}
+        self._due_heap: List[Tuple[float, str]] = []
+        """(due_us, device) flush obligations; entries go stale when a
+        queue flushes, evicts, or tightens its due time (lazy deletion)."""
+        self._seq = 0
         self.batches_formed = 0
         self.requests_batched = 0
 
     def add(self, device_name: str, request: Request, now_us: float) -> bool:
         """Queue ``request`` for ``device_name``; True if the partition's
         batch is now full and should be flushed immediately."""
-        pending = self._pending.setdefault(device_name, [])
-        pending.append((now_us, request))
-        return len(pending) >= self.max_batch
+        queue = self._queues.get(device_name)
+        if queue is None:
+            queue = self._queues[device_name] = _DeviceQueue()
+        before = self._queue_due(queue)
+        self._seq += 1
+        heapq.heappush(
+            queue.edf, (request.deadline_us, request.rid, self._seq, request)
+        )
+        queue.order.append(request)
+        if now_us < queue.oldest_us:
+            queue.oldest_us = now_us
+        if request.deadline_us < queue.min_deadline_us:
+            queue.min_deadline_us = request.deadline_us
+        due = self._queue_due(queue)
+        if due < before:
+            heapq.heappush(self._due_heap, (due, device_name))
+        return len(queue.order) >= self.max_batch
+
+    def _queue_due(self, queue: _DeviceQueue) -> float:
+        return min(queue.oldest_us + self.max_delay_us, queue.min_deadline_us)
 
     def depth(self, device_name: str) -> int:
         """Pending (batched-but-unflushed) requests for one partition."""
-        return len(self._pending.get(device_name, ()))
+        queue = self._queues.get(device_name)
+        return len(queue.order) if queue is not None else 0
 
     def depths(self) -> Dict[str, int]:
-        return {d: len(p) for d, p in self._pending.items() if p}
+        return {d: len(q.order) for d, q in self._queues.items() if q.order}
 
     def pending_requests(self, device_name: str) -> List[Request]:
         """The pending requests for one partition (crash re-queue path)."""
-        return [r for _, r in self._pending.get(device_name, ())]
+        queue = self._queues.get(device_name)
+        return list(queue.order) if queue is not None else []
 
     def evict(self, device_name: str) -> List[Request]:
         """Drop and return a partition's pending requests (its partition
         crashed; the frontend re-queues them elsewhere)."""
-        pending = self._pending.pop(device_name, [])
-        return [r for _, r in pending]
+        queue = self._queues.pop(device_name, None)
+        return list(queue.order) if queue is not None else []
 
     def due_at(self, device_name: str) -> Optional[float]:
         """Earliest simulated time at which this partition's batch must
         flush (oldest + max_delay, or the earliest deadline)."""
-        pending = self._pending.get(device_name)
-        if not pending:
+        queue = self._queues.get(device_name)
+        if queue is None or not queue.order:
             return None
-        oldest = min(t for t, _ in pending)
-        earliest_deadline = min(r.deadline_us for _, r in pending)
-        return min(oldest + self.max_delay_us, earliest_deadline)
+        return self._queue_due(queue)
 
     def earliest_due(self) -> Optional[Tuple[float, str]]:
-        """The next (time, partition) flush obligation across partitions."""
-        due = [
-            (self.due_at(d), d) for d, p in sorted(self._pending.items()) if p
-        ]
-        due = [(t, d) for t, d in due if t is not None]
-        return min(due) if due else None
+        """The next (time, partition) flush obligation across partitions.
+
+        O(1) amortized: stale heap entries (their queue flushed, evicted,
+        or tightened since the push) are discarded as they surface.
+        """
+        heap = self._due_heap
+        while heap:
+            due, device = heap[0]
+            queue = self._queues.get(device)
+            if queue is not None and queue.order and self._queue_due(queue) == due:
+                return (due, device)
+            heapq.heappop(heap)
+        return None
 
     def flush(
         self, device_name: str, now_us: float, *, reason: str = ""
     ) -> Optional[Batch]:
         """Form the batch for ``device_name`` (EDF order), or None."""
-        pending = self._pending.pop(device_name, None)
-        if not pending:
+        queue = self._queues.pop(device_name, None)
+        if queue is None or not queue.order:
             return None
-        requests = [r for _, r in pending]
-        requests.sort(key=lambda r: (r.deadline_us, r.rid))
+        edf = queue.edf
+        requests = [heapq.heappop(edf)[3] for _ in range(len(edf))]
         self.batches_formed += 1
         self.requests_batched += len(requests)
         return Batch(
@@ -111,12 +174,30 @@ class DeadlineBatcher:
         )
 
     def due_partitions(self, now_us: float) -> List[str]:
-        """Partitions whose batches must flush at or before ``now_us``."""
-        out = []
-        for device_name in sorted(self._pending):
-            due = self.due_at(device_name)
-            if due is not None and due <= now_us:
-                out.append(device_name)
+        """Partitions whose batches must flush at or before ``now_us``.
+
+        Early-outs via the due heap's minimum — the serving loop polls
+        this on every event, and almost every poll finds nothing due, so
+        the pre-heap full re-sort of ``self._pending`` was pure overhead.
+        Still-valid obligations are re-pushed: the caller flushes them,
+        which is what finally retires their heap entries.
+        """
+        heap = self._due_heap
+        keep: List[Tuple[float, str]] = []
+        out: List[str] = []
+        seen = set()
+        while heap and heap[0][0] <= now_us:
+            due, device = heapq.heappop(heap)
+            queue = self._queues.get(device)
+            if queue is None or not queue.order or self._queue_due(queue) != due:
+                continue  # stale (lazy deletion)
+            keep.append((due, device))
+            if device not in seen:
+                seen.add(device)
+                out.append(device)
+        for entry in keep:
+            heapq.heappush(heap, entry)
+        out.sort()
         return out
 
     @property

@@ -8,12 +8,24 @@ already queued ahead of the new request.  The placer scores every READY
 candidate partition on all three signals and picks the minimum, with the
 partition name as a deterministic tie-break; pinned requests bypass
 scoring but still respect readiness.
+
+Host-speed design: the context and reserved-bytes score terms come from
+attribute chains deep in the mEnclave stack, and they only change when the
+serving layer *does something* to the partition — executes a batch on it,
+crashes it, or recovers it.  In ``incremental`` mode (how the
+:class:`~repro.serve.frontend.ServingSystem` constructs its placer) those
+terms are cached per device and recomputed only for devices in the dirty
+set (``mark_dirty``), so a placement is a running-min pass over cached
+floats plus one O(1) queue-depth lookup per candidate, instead of
+rescoring every partition through the attribute chains and sorting the
+result.  The floating-point evaluation order of the score is kept exactly
+as the full recompute's, so incremental and full scoring are bit-equal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.dispatch.dispatcher import DispatchError, EnclaveDispatcher, NoReadyPartition
 from repro.secure.partition import PartitionState
@@ -34,6 +46,9 @@ class PartitionScore:
     score: float
 
 
+DepthSource = Union[Mapping[str, int], Callable[[str], int]]
+
+
 class SpatialPlacer:
     """Scores partitions by live contexts, queue depth and reserved bytes."""
 
@@ -44,13 +59,69 @@ class SpatialPlacer:
         weight_contexts: float = 1.0,
         weight_queue: float = 0.25,
         weight_reserved_per_gib: float = 0.5,
+        incremental: bool = False,
     ) -> None:
         self._dispatcher = dispatcher
         self.weight_contexts = weight_contexts
         self.weight_queue = weight_queue
         self.weight_reserved_per_gib = weight_reserved_per_gib
         self.placements = 0
+        self._incremental = incremental
+        self._registered = -1
+        """Dispatcher registration count the candidate index was built at."""
+        self._by_type: Dict[str, List[object]] = {}
+        self._by_name: Dict[str, object] = {}
+        self._dirty: Set[str] = set()
+        self._cached: Dict[str, Tuple[float, float, int, int]] = {}
+        """device -> (contexts_term, reserved_term, contexts, reserved)."""
 
+    # -- candidate index ---------------------------------------------------
+    def _sync(self) -> None:
+        """Rebuild the device indexes when the dispatcher learned about new
+        partitions (registration is append-only)."""
+        registered = self._dispatcher.registered
+        if registered == self._registered:
+            return
+        self._registered = registered
+        self._by_type = {}
+        self._by_name = {}
+        for mos in self._dispatcher.moses():
+            name = mos.partition.device.name
+            # Candidates sorted by device name so a running-min pass with a
+            # strict `<` reproduces the (score, name) sort order exactly.
+            self._by_type.setdefault(mos.device_type, []).append(mos)
+            self._by_name[name] = mos
+            self._dirty.add(name)
+        for candidates in self._by_type.values():
+            candidates.sort(key=lambda m: m.partition.device.name)
+
+    def mark_dirty(self, device_name: str) -> None:
+        """Invalidate one device's cached context/reserved score terms.
+
+        The frontend calls this after anything that can move them: a batch
+        executed on the device, a crash, a recovery.
+        """
+        self._dirty.add(device_name)
+
+    def _terms(self, mos) -> Tuple[float, float, int, int]:
+        """The cached (contexts_term, reserved_term) pair for one device."""
+        name = mos.partition.device.name
+        if not self._incremental or name in self._dirty or name not in self._cached:
+            device = mos.partition.device
+            contexts = (
+                device.active_contexts() if hasattr(device, "active_contexts") else 0
+            )
+            reserved = mos.manager.reserved_bytes
+            self._cached[name] = (
+                self.weight_contexts * contexts,
+                self.weight_reserved_per_gib * (reserved / float(1 << 30)),
+                contexts,
+                reserved,
+            )
+            self._dirty.discard(name)
+        return self._cached[name]
+
+    # -- scoring -----------------------------------------------------------
     def score(self, mos, queue_depth: int) -> PartitionScore:
         device = mos.partition.device
         contexts = device.active_contexts() if hasattr(device, "active_contexts") else 0
@@ -72,7 +143,8 @@ class SpatialPlacer:
         self, device_type: str, queue_depths: Mapping[str, int]
     ) -> List[PartitionScore]:
         """Scoring breakdown for every candidate (any state), sorted by
-        (score, device name) — the placement order."""
+        (score, device name) — the placement order.  Always a fresh
+        recompute (observability path, never the hot path)."""
         out = [
             self.score(m, queue_depths.get(m.partition.device.name, 0))
             for m in self._dispatcher.moses()
@@ -83,11 +155,15 @@ class SpatialPlacer:
     def place(
         self,
         request,
-        queue_depths: Mapping[str, int],
+        queue_depths: DepthSource,
         *,
         is_ready: Optional[Callable[[object], bool]] = None,
     ):
         """Pick the mOS for ``request``; returns the chosen MicroOS.
+
+        ``queue_depths`` is either a mapping of device name to pending
+        count or an O(1) lookup callable (the frontend passes
+        ``batcher.depth`` so no per-placement dict is built).
 
         ``is_ready`` lets the frontend overlay its own availability view
         (a partition inside its background-recovery window is READY in the
@@ -97,15 +173,19 @@ class SpatialPlacer:
         :class:`~repro.dispatch.dispatcher.DispatchError` when no
         partition matches at all.
         """
-        candidates = [
-            m for m in self._dispatcher.moses() if m.device_type == request.device_type
-        ]
+        self._sync()
+        if callable(queue_depths):
+            depth_of = queue_depths
+        else:
+            depth_of = lambda name: queue_depths.get(name, 0)  # noqa: E731
+        candidates = self._by_type.get(request.device_type, ())
         if request.device_name is not None:
-            candidates = [
-                m
-                for m in candidates
-                if m.partition.device.name == request.device_name
-            ]
+            pinned = self._by_name.get(request.device_name)
+            candidates = (
+                [pinned]
+                if pinned is not None and pinned.device_type == request.device_type
+                else []
+            )
         if not candidates:
             raise DispatchError(
                 f"no partition manages a {request.device_type!r} device"
@@ -115,21 +195,32 @@ class SpatialPlacer:
                     else ""
                 )
             )
-        ready = [
-            m
-            for m in candidates
-            if m.partition.state is PartitionState.READY
-            and (is_ready is None or is_ready(m))
-        ]
-        if not ready:
+        best = None
+        best_score = 0.0
+        n_candidates = 0
+        weight_queue = self.weight_queue
+        for mos in candidates:
+            n_candidates += 1
+            if mos.partition.state is not PartitionState.READY:
+                continue
+            if is_ready is not None and not is_ready(mos):
+                continue
+            contexts_term, reserved_term, _, _ = self._terms(mos)
+            # Same FP evaluation order as `score`: (A + B) + C.
+            name = mos.partition.device.name
+            value = (
+                contexts_term + weight_queue * depth_of(name)
+            ) + reserved_term
+            # Candidates iterate in device-name order, so strict `<` keeps
+            # the first (lowest-named) of any score tie — the legacy
+            # (score, device_name) sort's choice.
+            if best is None or value < best_score:
+                best = mos
+                best_score = value
+        if best is None:
             raise NoReadyPartition(
-                f"all {len(candidates)} candidate partition(s) for request "
+                f"all {n_candidates} candidate partition(s) for request "
                 f"{request.rid!r} are crashed or recovering"
             )
-        scored = [
-            (self.score(m, queue_depths.get(m.partition.device.name, 0)), m)
-            for m in ready
-        ]
-        scored.sort(key=lambda pair: (pair[0].score, pair[0].device_name))
         self.placements += 1
-        return scored[0][1]
+        return best

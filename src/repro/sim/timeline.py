@@ -21,7 +21,22 @@ from repro.sim.clock import SimClock
 
 
 class Timeline:
-    """Sequential worker running concurrently with the submitting clock."""
+    """Sequential worker running concurrently with the submitting clock.
+
+    Slotted: timelines sit on the sRPC submit path (one attribute record
+    per enqueue), so the per-instance ``__dict__`` was measurable alloc
+    traffic in million-request serving sweeps.
+    """
+
+    __slots__ = (
+        "_clock",
+        "name",
+        "_available_at",
+        "_busy_us",
+        "_submitted",
+        "last_start",
+        "_completed_log",
+    )
 
     def __init__(
         self,
