@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""CI gate: validate a ``BENCH_scale.json`` document against its contract.
+"""CI gate: validate a benchmark JSON document against its contract.
 
-The scale benchmark (``benchmarks/bench_scale.py``) records the raw-speed
-trajectory of the heap serving engine against the legacy scan engine.
 This checker is deliberately self-contained — it is the published schema
-*contract*, independent of the generator — and verifies:
+*contract*, independent of the generators — and dispatches on the
+document's ``schema`` tag:
 
-* the ``cronus.bench_scale/v1`` envelope (schema tag, config, rows,
-  equivalence, speedup) with required keys and sane types throughout;
+``cronus.bench_scale/v1`` (``benchmarks/bench_scale.py``):
+
+* the envelope (schema tag, config, rows, equivalence, speedup) with
+  required keys and sane types throughout;
 * every measured row carries positive wall-clock/throughput numbers and a
   64-hex SLO fingerprint;
 * every scale point both engines ran has **byte-identical** fingerprints
@@ -15,8 +16,18 @@ This checker is deliberately self-contained — it is the published schema
 * the heap engine's rows cover every legacy row's scale point, and the
   speedup block references a point that was actually measured.
 
-Usage: ``python scripts/check_bench_schema.py [BENCH_scale.json]``
-Exit status 0 = the document honours the contract.
+``cronus.bench_autoscale/v1`` (``benchmarks/bench_autoscale.py``):
+
+* the envelope (schema tag, config+policy, rows, savings, p99, replay);
+* exactly one ``static`` and one ``autoscaled`` row plus at least one
+  ``replay-N`` row, each with positive device-seconds and 64-hex SLO and
+  scale fingerprints;
+* every replay row's SLO *and* scale fingerprints byte-equal the
+  autoscaled row's (and the recorded equality flags say so);
+* the savings block is consistent with the static/autoscaled rows.
+
+Usage: ``python scripts/check_bench_schema.py [BENCH_*.json]``
+Exit status 0 = the document honours its contract.
 """
 
 from __future__ import annotations
@@ -144,6 +155,138 @@ def validate(doc) -> list:
     return failures
 
 
+AUTOSCALE_SCHEMA = "cronus.bench_autoscale/v1"
+AUTOSCALE_ROW_FIELDS = {
+    "config": str,
+    "arrivals": int,
+    "devices": int,
+    "wall_s": (int, float),
+    "makespan_us": (int, float),
+    "device_seconds": (int, float),
+    "completed": int,
+    "expired": int,
+    "boots": int,
+    "retires": int,
+    "fingerprint": str,
+    "scale_fingerprint": str,
+}
+AUTOSCALE_CONFIG_FIELDS = {
+    "devices": int,
+    "max_batch": int,
+    "max_delay_us": (int, float),
+    "arrivals": int,
+    "tenants": int,
+    "seed": int,
+    "mean_rate_rps": (int, float),
+    "service_model": str,
+    "policy": dict,
+}
+AUTOSCALE_POLICY_FIELDS = {
+    "window_us": (int, float),
+    "eval_interval_us": (int, float),
+    "headroom": (int, float),
+    "min_devices": int,
+    "boot_delay_us": (int, float),
+    "scale_down_ticks": int,
+    "scale_down_cooldown_us": (int, float),
+}
+AUTOSCALE_SAVINGS_FIELDS = {
+    "static_device_seconds": (int, float),
+    "autoscaled_device_seconds": (int, float),
+    "saving_fraction": (int, float),
+    "floor": (int, float),
+}
+AUTOSCALE_P99_FIELDS = {
+    "tenants_gated": int,
+    "tenants_ungated": int,
+    "min_samples": int,
+    "worst_ratio": (int, float),
+    "worst_tenant": str,
+    "ceiling": (int, float),
+}
+
+
+def validate_autoscale(doc) -> list:
+    """All ``cronus.bench_autoscale/v1`` violations (empty list = valid)."""
+    failures = []
+    if not isinstance(doc, dict):
+        return [f"document root must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != AUTOSCALE_SCHEMA:
+        failures.append(f"schema tag {doc.get('schema')!r} != {AUTOSCALE_SCHEMA!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        failures.append(f"mode {doc.get('mode')!r} must be 'full' or 'smoke'")
+    config = doc.get("config")
+    if _check_fields(config, AUTOSCALE_CONFIG_FIELDS, "config", failures):
+        _check_fields(
+            config.get("policy"), AUTOSCALE_POLICY_FIELDS, "config.policy", failures
+        )
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        failures.append("rows must be a non-empty list")
+        rows = []
+    by_config = {}
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not _check_fields(row, AUTOSCALE_ROW_FIELDS, where, failures):
+            continue
+        for key in ("fingerprint", "scale_fingerprint"):
+            if not _is_fingerprint(row.get(key)):
+                failures.append(f"{where}: {key} is not 64 hex chars")
+        for key in ("arrivals", "device_seconds", "makespan_us"):
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                failures.append(f"{where}: {key} must be positive, got {value}")
+        by_config[row.get("config")] = row
+
+    static = by_config.get("static")
+    auto = by_config.get("autoscaled")
+    replays = [r for c, r in sorted(by_config.items()) if c.startswith("replay")]
+    if static is None:
+        failures.append("rows: no 'static' baseline row")
+    if auto is None:
+        failures.append("rows: no 'autoscaled' row")
+    if not replays:
+        failures.append("rows: no replay rows")
+    if auto is not None:
+        for replay in replays:
+            name = replay["config"]
+            if replay.get("fingerprint") != auto.get("fingerprint"):
+                failures.append(f"{name}: SLO fingerprint differs from autoscaled row")
+            if replay.get("scale_fingerprint") != auto.get("scale_fingerprint"):
+                failures.append(
+                    f"{name}: scale fingerprint differs from autoscaled row"
+                )
+
+    savings = doc.get("savings")
+    if _check_fields(savings, AUTOSCALE_SAVINGS_FIELDS, "savings", failures):
+        if static is not None and auto is not None:
+            recorded = savings.get("saving_fraction")
+            derived = 1.0 - auto["device_seconds"] / static["device_seconds"]
+            if isinstance(recorded, (int, float)) and abs(recorded - derived) > 1e-3:
+                failures.append(
+                    f"savings: saving_fraction {recorded} inconsistent with the "
+                    f"rows (derived {derived:.4f})"
+                )
+
+    _check_fields(doc.get("p99"), AUTOSCALE_P99_FIELDS, "p99", failures)
+
+    replay_block = doc.get("replay")
+    if not isinstance(replay_block, dict):
+        failures.append("replay block missing")
+    else:
+        for key in ("slo_fingerprints_equal", "scale_fingerprints_equal"):
+            if replay_block.get(key) is not True:
+                failures.append(f"replay: {key} is not true")
+    return failures
+
+
+VALIDATORS = {
+    SCHEMA: validate,
+    AUTOSCALE_SCHEMA: validate_autoscale,
+}
+
+
 def main(argv) -> int:
     path = argv[1] if len(argv) > 1 else "BENCH_scale.json"
     try:
@@ -153,13 +296,24 @@ def main(argv) -> int:
         print(f"FAIL: cannot read {path}: {exc}", file=sys.stderr)
         return 1
 
-    failures = validate(doc)
+    tag = doc.get("schema") if isinstance(doc, dict) else None
+    validator = VALIDATORS.get(tag, validate)
+    failures = validator(doc)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
 
     rows = doc["rows"]
+    if tag == AUTOSCALE_SCHEMA:
+        savings = doc["savings"]
+        p99 = doc["p99"]
+        print(
+            f"bench schema ok: {len(rows)} rows, "
+            f"{savings['saving_fraction']:.1%} device-seconds saved, "
+            f"worst gated p99 ratio {p99['worst_ratio']}x, replays byte-identical"
+        )
+        return 0
     heap_max = max(r["arrivals"] for r in rows if r["engine"] == "heap")
     speed = doc["speedup"]
     print(

@@ -11,7 +11,7 @@ it — see the attack tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.mos.microos import MicroOS
 from repro.secure.partition import PartitionState
@@ -35,9 +35,29 @@ class EnclaveDispatcher:
 
     def __init__(self) -> None:
         self._moses: List[MicroOS] = []
+        self._parked: Set[str] = set()
+        """Device names withdrawn from routing by the management plane
+        (the serving autoscaler parks retired partitions here)."""
 
     def register(self, mos: MicroOS) -> None:
         self._moses.append(mos)
+
+    def park(self, device_name: str) -> None:
+        """Withdraw a device from routing (elastic scale-down).
+
+        Parking is a dispatcher-local bookkeeping bit, not a partition
+        state change: the mOS stays registered and its partition may still
+        be READY, but :meth:`partition_for` stops offering it.  Idempotent.
+        """
+        self._parked.add(device_name)
+
+    def unpark(self, device_name: str) -> None:
+        """Return a parked device to the routing table.  Idempotent."""
+        self._parked.discard(device_name)
+
+    @property
+    def parked(self) -> frozenset:
+        return frozenset(self._parked)
 
     @property
     def registered(self) -> int:
@@ -76,13 +96,18 @@ class EnclaveDispatcher:
                 f"no partition manages a {device_type!r} device"
                 + (f" named {device_name!r}" if device_name else "")
             )
-        ready = [m for m in candidates if m.partition.state is PartitionState.READY]
+        ready = [
+            m
+            for m in candidates
+            if m.partition.state is PartitionState.READY
+            and m.partition.device.name not in self._parked
+        ]
         if not ready:
             raise NoReadyPartition(
                 f"all {len(candidates)} partition(s) for device type "
                 f"{device_type!r}"
                 + (f" named {device_name!r}" if device_name else "")
-                + " are crashed or restarting"
+                + " are crashed, restarting or parked"
             )
         choice = min(ready, key=lambda m: (m.manager.reserved_bytes, m.partition.name))
         platform = choice.platform
@@ -111,5 +136,6 @@ class EnclaveDispatcher:
                 "reserved_bytes": mos.manager.reserved_bytes,
                 "state": mos.partition.state.value,
                 "restarts": mos.partition.restarts,
+                "parked": device.name in self._parked,
             }
         return out

@@ -21,6 +21,7 @@ simulated-time tables stay byte-identical.
 from repro.obs.export import (
     RECOVERY_PHASES,
     chrome_trace,
+    fleet_counter_track,
     recovery_phases,
     validate_chrome_trace,
     write_chrome_trace,
@@ -49,6 +50,7 @@ __all__ = [
     "SpanRecorder",
     "NO_SPAN",
     "chrome_trace",
+    "fleet_counter_track",
     "write_chrome_trace",
     "validate_chrome_trace",
     "recovery_phases",

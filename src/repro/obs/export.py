@@ -86,6 +86,45 @@ def chrome_trace(recorder, *, trace_id: Optional[int] = None) -> Dict[str, objec
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
+def fleet_counter_track(
+    scaling_events,
+    initial_live,
+    *,
+    pid: int = 0,
+    name: str = "fleet.live",
+) -> List[Dict[str, object]]:
+    """Render a serving run's fleet trajectory as Chrome counter events.
+
+    ``scaling_events`` is :attr:`repro.serve.frontend.ServingReport.scaling_events`
+    and ``initial_live`` its ``initial_live`` tuple.  Produces one
+    ``"ph": "C"`` event per fleet-size change (Perfetto draws these as a
+    stepped counter track), starting from the initial live count at t=0.
+    Only completions move the counter: ``up`` (+1) and ``park`` (-1);
+    ``boot``/``retire`` decisions are in-flight and don't change capacity.
+    """
+    live = len(initial_live)
+    events: List[Dict[str, object]] = [
+        {
+            "name": name, "ph": "C", "pid": pid, "tid": 0,
+            "ts": 0.0, "args": {"live": live},
+        }
+    ]
+    for ts, action, _device in scaling_events:
+        if action == "up":
+            live += 1
+        elif action == "park":
+            live -= 1
+        else:
+            continue
+        events.append(
+            {
+                "name": name, "ph": "C", "pid": pid, "tid": 0,
+                "ts": round(ts, 3), "args": {"live": live},
+            }
+        )
+    return events
+
+
 def write_chrome_trace(recorder, path: str, *, trace_id: Optional[int] = None) -> str:
     """Write the Perfetto-loadable JSON to ``path``; returns the path."""
     data = chrome_trace(recorder, trace_id=trace_id)
@@ -126,6 +165,20 @@ def validate_chrome_trace(data: Mapping[str, object]) -> List[str]:
                 problems.append(f"event #{index} missing required key {key!r}")
         phase = event.get("ph")
         if phase == "M":
+            continue
+        if phase == "C":
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event #{index}: 'ts' missing or non-numeric")
+            cargs = event.get("args")
+            if (
+                not isinstance(cargs, dict)
+                or not cargs
+                or not all(isinstance(v, (int, float)) for v in cargs.values())
+            ):
+                problems.append(
+                    f"event #{index}: counter 'args' must be a non-empty "
+                    "mapping of numeric series"
+                )
             continue
         if phase != "X":
             problems.append(f"event #{index}: unexpected phase {phase!r}")

@@ -26,6 +26,10 @@ package builds the serving subsystem on top of them:
   million-user scale: Zipf tenant popularity, diurnal/bursty arrival
   envelopes, heavy-tailed op sizes, plus the synthetic service-time model
   the scale benchmark runs both engines under.
+* :mod:`repro.serve.autoscaler` — the SLO-driven elastic-fleet
+  controller: sliding-window demand/pressure signals, a deterministic
+  target-tracking policy, and boot/retire decisions the frontend applies
+  as virtual-time events (replayable via ``scale_events``).
 * :mod:`repro.serve.legacy` — the pre-heap scan engine, preserved
   verbatim for the scheduler-equivalence suite and the scale benchmark's
   baseline (deliberately not exported here).
@@ -41,6 +45,15 @@ from repro.serve.admission import (
     REJECT_UNKNOWN,
     Request,
     open_loop_arrivals,
+)
+from repro.serve.autoscaler import (
+    Autoscaler,
+    AutoscalerError,
+    AutoscalerPolicy,
+    DECISION_ACTIONS,
+    FullHistoryWindow,
+    SlidingWindow,
+    WindowSnapshot,
 )
 from repro.serve.batcher import Batch, DeadlineBatcher
 from repro.serve.frontend import ServingReport, ServingSystem
@@ -59,9 +72,16 @@ from repro.serve.tenants import Tenant, TenantError, TenantRegistry, TenantSpec
 __all__ = [
     "AdmissionController",
     "AdmissionDecision",
+    "Autoscaler",
+    "AutoscalerError",
+    "AutoscalerPolicy",
     "Batch",
+    "DECISION_ACTIONS",
     "DeadlineBatcher",
+    "FullHistoryWindow",
     "LoadProfile",
+    "SlidingWindow",
+    "WindowSnapshot",
     "PlacementError",
     "REJECT_NO_PARTITION",
     "REJECT_QUEUE_FULL",

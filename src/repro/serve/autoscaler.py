@@ -1,0 +1,369 @@
+"""SLO-driven autoscaling of mOS partitions under the serving frontend.
+
+The raw-speed engine (PR 6) made one simulated second cheap; this module
+makes the *fleet* elastic: a controller watches a sliding window of
+per-tenant latency, queue pressure and admission rejections, and decides
+to boot parked mOS partitions or drain-and-retire live ones so capacity
+tracks the diurnal/bursty offered load instead of idling at the static
+fleet size.  Partition boot/retire stays a small, auditable management-
+plane operation (the HyperEnclave/MicroTEE argument): the decisions are
+emitted as ordinary virtual-time events on the serving event loop, so an
+autoscaled run replays deterministically and its SLO and scaling
+fingerprints are a pure function of (load profile, policy, seed).
+
+Two window implementations back the controller:
+
+* :class:`SlidingWindow` — the production path: per-signal deques pruned
+  incrementally, O(1) amortized per observation, memory bounded by the
+  window.
+* :class:`FullHistoryWindow` — the brute-force reference: retains every
+  observation and rescans the full history on each snapshot.
+
+Both produce **bit-identical** snapshots (pruning keeps the same items in
+the same order, so float sums associate identically); the equivalence
+suite (``tests/test_autoscale.py``) drives the whole serving system under
+both and asserts the scaling decision streams and SLO fingerprints match
+byte-for-byte.
+
+The policy itself is deliberately simple and fully deterministic:
+
+* **target tracking** — desired capacity is ``headroom`` times the
+  windowed arrival work-rate (arrivals/window x observed mean service
+  time), in device-equivalents;
+* **reactive bump** — any fleet-pressure signal in the window (queue-full
+  rejections, parked placements, a p99 breach when ``p99_slo_us`` is
+  set) forces at least one boot beyond current capacity;
+* **conservative scale-down** — capacity must sit above the target for
+  ``scale_down_ticks`` consecutive evaluations *and* past the cooldown
+  before at most ``max_retires_per_tick`` partitions drain, so a burst
+  trough never flaps the fleet.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.serve.slo import nearest_rank
+
+#: Scaling decision verbs (also the replayable schedule's event names).
+SCALE_BOOT = "boot"
+SCALE_RETIRE = "retire"
+#: Lifecycle notifications recorded alongside decisions (not replayed).
+SCALE_UP = "up"
+SCALE_PARK = "park"
+
+#: The decision verbs a fixed replay schedule may contain.
+DECISION_ACTIONS = (SCALE_BOOT, SCALE_RETIRE)
+
+
+class AutoscalerError(Exception):
+    """Policy misuse (bad knobs, malformed schedule)."""
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Knobs of the SLO-driven controller (see ``docs/serving.md``)."""
+
+    window_us: float = 200_000.0
+    """Sliding observation window for every signal, simulated µs."""
+    eval_interval_us: float = 25_000.0
+    """Controller tick period; every decision lands on this grid."""
+    headroom: float = 2.0
+    """Desired capacity = headroom x windowed demand (device-equivalents)."""
+    default_service_us: float = 25.0
+    """Service-time estimate used before any completion is observed."""
+    p99_slo_us: Optional[float] = None
+    """Optional reactive trigger: window p99 above this forces a boot."""
+    min_devices: int = 1
+    """The fleet never drains below this many live+booting devices."""
+    max_devices: Optional[int] = None
+    """Optional cap on live+booting devices (None = every fleet device)."""
+    boot_delay_us: float = 25_000.0
+    """Virtual time between a boot decision and the partition being live
+    (mOS load + sRPC runtime warm-up, the management-plane cost)."""
+    scale_down_ticks: int = 4
+    """Consecutive below-target evaluations required before a drain."""
+    scale_down_cooldown_us: float = 100_000.0
+    """Minimum spacing between drain decisions."""
+    max_retires_per_tick: int = 1
+    """Drains are gentle: at most this many partitions retire per tick."""
+
+    def __post_init__(self) -> None:
+        if self.window_us <= 0:
+            raise AutoscalerError(f"window_us must be positive, got {self.window_us}")
+        if self.eval_interval_us <= 0:
+            raise AutoscalerError(
+                f"eval_interval_us must be positive, got {self.eval_interval_us}"
+            )
+        if self.headroom < 1.0:
+            raise AutoscalerError(f"headroom must be >= 1, got {self.headroom}")
+        if self.default_service_us <= 0:
+            raise AutoscalerError(
+                f"default_service_us must be positive, got {self.default_service_us}"
+            )
+        if self.min_devices < 1:
+            raise AutoscalerError(f"min_devices must be >= 1, got {self.min_devices}")
+        if self.max_devices is not None and self.max_devices < self.min_devices:
+            raise AutoscalerError(
+                f"max_devices {self.max_devices} < min_devices {self.min_devices}"
+            )
+        if self.boot_delay_us < 0:
+            raise AutoscalerError(
+                f"boot_delay_us must be non-negative, got {self.boot_delay_us}"
+            )
+        if self.scale_down_ticks < 1:
+            raise AutoscalerError(
+                f"scale_down_ticks must be >= 1, got {self.scale_down_ticks}"
+            )
+        if self.max_retires_per_tick < 1:
+            raise AutoscalerError(
+                f"max_retires_per_tick must be >= 1, got {self.max_retires_per_tick}"
+            )
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """The window aggregates one evaluation reads (pure data)."""
+
+    arrivals: int
+    rejections: int
+    parked: int
+    completions: int
+    mean_service_us: Optional[float]
+    p99_us: Optional[float]
+
+
+class SlidingWindow:
+    """Incrementally pruned window statistics (the production path).
+
+    Each observation appends to one deque; pruning pops expired entries
+    from the left, so the total work is O(1) amortized per observation
+    and memory is bounded by the window's population.  Sums are computed
+    over the surviving deque contents in arrival order — never maintained
+    as running totals — so a snapshot is bit-identical to the brute-force
+    reference's (running sums would accumulate float error the reference
+    does not have).
+    """
+
+    def __init__(self, window_us: float) -> None:
+        self.window_us = window_us
+        self._arrivals: Deque[float] = deque()
+        self._rejections: Deque[float] = deque()
+        self._parked: Deque[float] = deque()
+        self._completions: Deque[Tuple[float, float, float]] = deque()
+        """(completion_us, latency_us, service_us)."""
+
+    def observe_arrival(self, t_us: float) -> None:
+        self._arrivals.append(t_us)
+
+    def observe_rejection(self, t_us: float) -> None:
+        self._rejections.append(t_us)
+
+    def observe_parked(self, t_us: float) -> None:
+        self._parked.append(t_us)
+
+    def observe_completion(
+        self, t_us: float, latency_us: float, service_us: float
+    ) -> None:
+        self._completions.append((t_us, latency_us, service_us))
+
+    def snapshot(self, now_us: float) -> WindowSnapshot:
+        cutoff = now_us - self.window_us
+        for dq in (self._arrivals, self._rejections, self._parked):
+            while dq and dq[0] <= cutoff:
+                dq.popleft()
+        comp = self._completions
+        while comp and comp[0][0] <= cutoff:
+            comp.popleft()
+        return _snapshot_from(
+            len(self._arrivals),
+            len(self._rejections),
+            len(self._parked),
+            [(lat, svc) for _, lat, svc in comp],
+        )
+
+
+class FullHistoryWindow:
+    """The brute-force reference: keep everything, rescan per snapshot.
+
+    Same observation API and bit-identical snapshots; O(history) memory
+    and O(history) work per evaluation — exactly what the sliding window
+    exists to avoid, and exactly what makes this the trustworthy oracle.
+    """
+
+    def __init__(self, window_us: float) -> None:
+        self.window_us = window_us
+        self._arrivals: List[float] = []
+        self._rejections: List[float] = []
+        self._parked: List[float] = []
+        self._completions: List[Tuple[float, float, float]] = []
+
+    def observe_arrival(self, t_us: float) -> None:
+        self._arrivals.append(t_us)
+
+    def observe_rejection(self, t_us: float) -> None:
+        self._rejections.append(t_us)
+
+    def observe_parked(self, t_us: float) -> None:
+        self._parked.append(t_us)
+
+    def observe_completion(
+        self, t_us: float, latency_us: float, service_us: float
+    ) -> None:
+        self._completions.append((t_us, latency_us, service_us))
+
+    def snapshot(self, now_us: float) -> WindowSnapshot:
+        cutoff = now_us - self.window_us
+        return _snapshot_from(
+            sum(1 for t in self._arrivals if t > cutoff),
+            sum(1 for t in self._rejections if t > cutoff),
+            sum(1 for t in self._parked if t > cutoff),
+            [(lat, svc) for t, lat, svc in self._completions if t > cutoff],
+        )
+
+
+def _snapshot_from(
+    arrivals: int,
+    rejections: int,
+    parked: int,
+    completions: List[Tuple[float, float, float]],
+) -> WindowSnapshot:
+    """Aggregate (latency, service) pairs into one snapshot record."""
+    if completions:
+        mean_service: Optional[float] = (
+            sum(svc for _, svc in completions) / len(completions)
+        )
+        p99: Optional[float] = nearest_rank(
+            sorted(lat for lat, _ in completions), 99
+        )
+    else:
+        mean_service = None
+        p99 = None
+    return WindowSnapshot(
+        arrivals=arrivals,
+        rejections=rejections,
+        parked=parked,
+        completions=len(completions),
+        mean_service_us=mean_service,
+        p99_us=p99,
+    )
+
+
+class Autoscaler:
+    """The controller: window statistics in, scaling decisions out.
+
+    Pure with respect to the fleet — :meth:`evaluate` never mutates the
+    serving system; it returns ``(action, device)`` decisions that the
+    frontend applies (and records for replay).  ``brute_force=True``
+    swaps the incremental window for the full-history reference; the two
+    must render identical decision streams (the equivalence suite's
+    claim).
+    """
+
+    def __init__(self, policy: AutoscalerPolicy, *, brute_force: bool = False) -> None:
+        self.policy = policy
+        self.brute_force = brute_force
+        window_cls = FullHistoryWindow if brute_force else SlidingWindow
+        self.window = window_cls(policy.window_us)
+        self.ticks = 0
+        self.boots = 0
+        self.retires = 0
+        self._low_streak = 0
+        self._last_down_us = -math.inf
+
+    # -- observation hooks (called by the frontend) ------------------------
+    def observe_arrival(self, t_us: float) -> None:
+        self.window.observe_arrival(t_us)
+
+    def observe_rejection(self, t_us: float) -> None:
+        self.window.observe_rejection(t_us)
+
+    def observe_parked(self, t_us: float) -> None:
+        self.window.observe_parked(t_us)
+
+    def observe_completion(
+        self, t_us: float, latency_us: float, service_us: float
+    ) -> None:
+        self.window.observe_completion(t_us, latency_us, service_us)
+
+    # -- the decision function ---------------------------------------------
+    def desired_capacity(self, snap: WindowSnapshot, capacity: int) -> int:
+        """Target live+booting devices for one window snapshot."""
+        policy = self.policy
+        mean_service = (
+            snap.mean_service_us
+            if snap.mean_service_us is not None
+            else policy.default_service_us
+        )
+        # Offered work rate in device-equivalents: how many partitions the
+        # window's arrivals keep busy if served back-to-back.
+        demand = snap.arrivals * mean_service / policy.window_us
+        desired = int(math.ceil(policy.headroom * demand))
+        if snap.rejections or snap.parked:
+            desired = max(desired, capacity + 1)
+        if (
+            policy.p99_slo_us is not None
+            and snap.p99_us is not None
+            and snap.p99_us > policy.p99_slo_us
+        ):
+            desired = max(desired, capacity + 1)
+        return max(desired, policy.min_devices)
+
+    def evaluate(
+        self,
+        now_us: float,
+        *,
+        live: Sequence[str],
+        booting: Sequence[str],
+        parked: Sequence[str],
+    ) -> List[Tuple[str, str]]:
+        """One controller tick; returns ``(action, device)`` decisions.
+
+        ``live``/``booting``/``parked`` are the fleet's current device
+        names; callers pass them sorted so candidate selection is
+        deterministic (boots take the lowest-named parked device, drains
+        the highest-named — LIFO, so the core fleet is stable).
+        """
+        policy = self.policy
+        self.ticks += 1
+        snap = self.window.snapshot(now_us)
+        capacity = len(live) + len(booting)
+        desired = self.desired_capacity(snap, capacity)
+        ceiling = capacity + len(parked)
+        if policy.max_devices is not None:
+            ceiling = min(ceiling, policy.max_devices)
+        desired = min(desired, ceiling)
+        decisions: List[Tuple[str, str]] = []
+        if desired > capacity:
+            self._low_streak = 0
+            for device in sorted(parked)[: desired - capacity]:
+                decisions.append((SCALE_BOOT, device))
+                self.boots += 1
+        elif desired < capacity:
+            self._low_streak += 1
+            if (
+                self._low_streak >= policy.scale_down_ticks
+                and now_us - self._last_down_us >= policy.scale_down_cooldown_us
+            ):
+                surplus = min(capacity - desired, policy.max_retires_per_tick)
+                victims = sorted(booting, reverse=True) + sorted(live, reverse=True)
+                for device in victims[:surplus]:
+                    decisions.append((SCALE_RETIRE, device))
+                    self.retires += 1
+                self._last_down_us = now_us
+                self._low_streak = 0
+        else:
+            self._low_streak = 0
+        return decisions
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "ticks": self.ticks,
+            "boots": self.boots,
+            "retires": self.retires,
+            "brute_force": int(self.brute_force),
+        }

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.serve.admission import Request
 
@@ -88,6 +88,24 @@ class DeadlineBatcher:
         self._seq = 0
         self.batches_formed = 0
         self.requests_batched = 0
+        self._live: Optional[Callable[[str], bool]] = None
+        self.compactions = 0
+        """Due-heap rebuilds (kept off ``stats`` — engine-comparable)."""
+
+    def set_live_filter(self, live: Optional[Callable[[str], bool]]) -> None:
+        """Install the serving layer's device-liveness view.
+
+        With an elastic fleet, a retired or crashed device's stale
+        ``(due_us, device)`` heap entries must never surface as flush
+        obligations — popping one in the serving loop's flush phase would
+        resurrect a dead device name with a fresh worker.  Entries whose
+        device fails the filter are treated as stale and discarded.
+        """
+        self._live = live
+
+    def _is_live(self, device_name: str) -> bool:
+        live = self._live
+        return live is None or live(device_name)
 
     def add(self, device_name: str, request: Request, now_us: float) -> bool:
         """Queue ``request`` for ``device_name``; True if the partition's
@@ -107,8 +125,29 @@ class DeadlineBatcher:
             queue.min_deadline_us = request.deadline_us
         due = self._queue_due(queue)
         if due < before:
-            heapq.heappush(self._due_heap, (due, device_name))
+            heap = self._due_heap
+            heapq.heappush(heap, (due, device_name))
+            # Every tightening pushes a fresh entry and strands the old
+            # one, so tight-deadline churn grows the heap without bound
+            # unless the stale fraction is compacted away.  The trigger
+            # keeps the invariant len(heap) <= max(64, 4 * live queues).
+            if len(heap) > 64 and len(heap) > 4 * len(self._queues):
+                self._compact()
         return len(queue.order) >= self.max_batch
+
+    def _compact(self) -> None:
+        """Rebuild the due heap from ground truth, dropping stale entries.
+
+        O(live queues); amortized free because at least 3/4 of the
+        entries dropped were stale pushes that already cost O(log n).
+        """
+        self._due_heap = [
+            (self._queue_due(queue), device)
+            for device, queue in self._queues.items()
+            if queue.order and self._is_live(device)
+        ]
+        heapq.heapify(self._due_heap)
+        self.compactions += 1
 
     def _queue_due(self, queue: _DeviceQueue) -> float:
         return min(queue.oldest_us + self.max_delay_us, queue.min_deadline_us)
@@ -150,7 +189,12 @@ class DeadlineBatcher:
         while heap:
             due, device = heap[0]
             queue = self._queues.get(device)
-            if queue is not None and queue.order and self._queue_due(queue) == due:
+            if (
+                queue is not None
+                and queue.order
+                and self._queue_due(queue) == due
+                and self._is_live(device)
+            ):
                 return (due, device)
             heapq.heappop(heap)
         return None
@@ -189,7 +233,12 @@ class DeadlineBatcher:
         while heap and heap[0][0] <= now_us:
             due, device = heapq.heappop(heap)
             queue = self._queues.get(device)
-            if queue is None or not queue.order or self._queue_due(queue) != due:
+            if (
+                queue is None
+                or not queue.order
+                or self._queue_due(queue) != due
+                or not self._is_live(device)
+            ):
                 continue  # stale (lazy deletion)
             keep.append((due, device))
             if device not in seen:

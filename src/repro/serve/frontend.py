@@ -18,16 +18,31 @@ Two notions of time coexist (see ``docs/serving.md``):
   work, so it is *not* used directly as a latency axis.
 
 The inner loop is a **heap-driven event engine** (the raw-speed engine
-refactor): the four event sources — the sorted arrival trace and crash
+refactor): the event sources — the sorted arrival trace and crash
 schedule (cursor peeks), partition recoveries (a min-heap with lazy
-deletion), and batch-flush obligations (the batcher's due heap) — are
-merged by next-event time, so one simulated second of open-loop traffic
-costs O(events · log n) host work.  The pre-heap implementation rebuilt
-an event list and re-scanned every pending queue per step, which was
-O(events · n); it survives verbatim as
+deletion), batch-flush obligations (the batcher's due heap), and, when
+the fleet is elastic, partition boot/park instants and autoscaler ticks —
+are merged by next-event time, so one simulated second of open-loop
+traffic costs O(events · log n) host work.  The pre-heap implementation
+rebuilt an event list and re-scanned every pending queue per step, which
+was O(events · n); it survives verbatim as
 :class:`~repro.serve.legacy.LegacyServingSystem` and the scheduler
 equivalence suite asserts both engines produce byte-identical SLO tables,
 completion orders and audits from the same seeded trace.
+
+**Elastic fleet** (the SLO-driven autoscaler): with an
+:class:`~repro.serve.autoscaler.AutoscalerPolicy` (or a fixed
+``scale_events`` schedule) the GPU partitions become a managed fleet.
+Each device is ``live`` (placeable), ``booting`` (mOS loading for
+``boot_delay_us`` of virtual time before its sRPC runtime is warmed),
+``draining`` (retire decided: no new placements, pending batch flushed,
+parks once the device runs dry) or ``parked`` (retired: runtime closed
+via the crash-failover drain path, minus the scrub — a retire is clean).
+Every transition is an ordinary virtual-time event, recorded in
+``scaling_events``, so an autoscaled run is replayable: feed the recorded
+boot/retire decisions back as ``scale_events`` (with the same
+``initial_live`` fleet) and the run — on either engine — reproduces the
+byte-identical SLO table and completion order.
 
 Failover (the section IV-D story, lifted to the serving layer): a
 partition crash mid-request surfaces as
@@ -41,8 +56,10 @@ or is reported expired, never duplicated.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
-from dataclasses import dataclass
+from collections import deque
+from dataclasses import dataclass, field
 from operator import attrgetter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -56,7 +73,17 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionDecision,
     REJECT_NO_PARTITION,
+    REJECT_QUEUE_FULL,
     Request,
+)
+from repro.serve.autoscaler import (
+    Autoscaler,
+    AutoscalerPolicy,
+    DECISION_ACTIONS,
+    SCALE_BOOT,
+    SCALE_PARK,
+    SCALE_RETIRE,
+    SCALE_UP,
 )
 from repro.serve.batcher import DeadlineBatcher
 from repro.serve.placement import SpatialPlacer
@@ -64,6 +91,15 @@ from repro.serve.slo import SLOTracker
 from repro.serve.tenants import Tenant, TenantRegistry, TenantSpec
 
 _ARRIVAL_ORDER = attrgetter("arrival_us", "rid")
+
+#: Elastic-fleet device states (``ServingReport.fleet_states`` values).
+FLEET_LIVE = "live"
+FLEET_BOOTING = "booting"
+FLEET_DRAINING = "draining"
+FLEET_PARKED = "parked"
+
+#: Fleet states whose flush obligations are honoured by the batcher.
+_SERVABLE_STATES = (FLEET_LIVE, FLEET_DRAINING)
 
 
 class ServingError(Exception):
@@ -101,7 +137,7 @@ class _PartitionWorker:
         return self.runtime
 
     def abandon(self) -> None:
-        """Drop the runtime after a crash; scrap surviving CPU-side state."""
+        """Drop the runtime after a crash or retire; scrap CPU-side state."""
         runtime, self.runtime = self.runtime, None
         if runtime is not None:
             try:
@@ -198,6 +234,22 @@ class ServingReport:
     duplicates_avoided: int
     batcher_stats: Dict[str, object]
     worker_stats: Dict[str, Dict[str, int]]
+    device_seconds: float = 0.0
+    """Fleet-on time: sum over devices of live simulated seconds (static
+    fleet: every GPU device times the makespan)."""
+    scaling_events: Tuple[Tuple[float, str, str], ...] = ()
+    """(time_us, action, device) fleet transitions, in application order:
+    ``boot``/``retire`` are decisions, ``up``/``park`` completions."""
+    scale_fingerprint: str = ""
+    """Digest of (initial fleet, boot delay, scaling event log)."""
+    initial_live: Tuple[str, ...] = ()
+    fleet_states: Dict[str, str] = field(default_factory=dict)
+
+    def scale_schedule(self) -> List[Tuple[float, str, str]]:
+        """The replayable decision schedule: feed to ``run(...,
+        scale_events=...)`` (with the same ``initial_live`` and
+        ``boot_delay_us``) to reproduce this run's fleet byte-for-byte."""
+        return [e for e in self.scaling_events if e[1] in DECISION_ACTIONS]
 
     def audit_exactly_once(self) -> List[str]:
         """At-most-once/no-loss audit; returns violation descriptions."""
@@ -228,6 +280,9 @@ class ServingSystem:
         max_delay_us: float = 2_000.0,
         kernels: Tuple[str, ...] = ("matmul",),
         service_model: Optional[Callable[[Request], float]] = None,
+        autoscaler: Optional[object] = None,
+        initial_live: Optional[Sequence[str]] = None,
+        boot_delay_us: Optional[float] = None,
     ) -> None:
         self.system = system
         self.kernels = kernels
@@ -239,6 +294,10 @@ class ServingSystem:
         self.slo = SLOTracker()
         self._workers: Dict[str, object] = {}
         self._free_at: Dict[str, float] = {}
+        self._inflight: Dict[str, deque] = {}
+        """device -> completion instants of work already flushed to the
+        worker but not yet finished at ``_now`` (appended in increasing
+        order because ``_free_at`` is monotone per device)."""
         self._down_until: Dict[str, float] = {}
         self._down_heap: List[Tuple[float, str]] = []
         """(ready_at, device) recovery events, mirroring ``_down_until``."""
@@ -255,10 +314,271 @@ class ServingSystem:
         self._metrics = system.platform.metrics
         self._request_spans: Dict[str, object] = {}
         """rid -> open request root span (serving virtual-time axis)."""
+        # -- elastic fleet state (inert when self._fleet is None) ----------
+        if autoscaler is None:
+            self.autoscaler: Optional[Autoscaler] = None
+        elif isinstance(autoscaler, Autoscaler):
+            self.autoscaler = autoscaler
+        elif isinstance(autoscaler, AutoscalerPolicy):
+            self.autoscaler = Autoscaler(autoscaler)
+        else:
+            raise ServingError(
+                "autoscaler must be an AutoscalerPolicy or Autoscaler, got "
+                f"{type(autoscaler).__name__}"
+            )
+        if boot_delay_us is not None:
+            self.boot_delay_us = float(boot_delay_us)
+        elif self.autoscaler is not None:
+            self.boot_delay_us = self.autoscaler.policy.boot_delay_us
+        else:
+            self.boot_delay_us = 25_000.0
+        self._initial_live = tuple(initial_live) if initial_live is not None else None
+        self._fleet: Optional[Dict[str, str]] = None
+        """device -> live|booting|draining|parked; None = static fleet."""
+        self._fleet_since: Dict[str, float] = {}
+        """device -> start of its current live interval (virtual us)."""
+        self._device_live_us: Dict[str, float] = {}
+        self._boot_at: Dict[str, float] = {}
+        """device -> virtual instant its boot completes (mirrors booting)."""
+        self._park_at: Dict[str, float] = {}
+        """device -> virtual instant its drain ends (mirrors draining)."""
+        self._next_tick_us: Optional[float] = None
+        self._more_arrivals = False
+        self.initial_live: Tuple[str, ...] = ()
+        self.scaling_events: List[Tuple[float, str, str]] = []
+        self._drain_spans: Dict[str, object] = {}
+        if self.autoscaler is not None or self._initial_live is not None:
+            self._ensure_fleet()
 
     # -- tenants -----------------------------------------------------------
     def add_tenant(self, spec: TenantSpec) -> Tenant:
         return self.registry.register(spec)
+
+    # -- the elastic fleet -------------------------------------------------
+    def _ensure_fleet(self) -> None:
+        """Switch to elastic-fleet mode (idempotent).
+
+        The fleet covers every GPU partition the system booted; devices
+        outside ``initial_live`` start parked (excluded from placement
+        and from the dispatcher's routing table) until a boot decision
+        brings them up.  Static-fleet runs never reach this code.
+        """
+        if self._fleet is not None:
+            return
+        gpus = sorted(
+            name
+            for name, mos in self.system.moses.items()
+            if mos.device_type == "gpu"
+        )
+        if not gpus:
+            raise ServingError("an elastic fleet requires at least one GPU partition")
+        if self._initial_live is None:
+            if self.autoscaler is not None:
+                live = gpus[: min(len(gpus), self.autoscaler.policy.min_devices)]
+            else:
+                live = list(gpus)
+        else:
+            unknown = sorted(set(self._initial_live) - set(gpus))
+            if unknown:
+                raise ServingError(
+                    f"initial_live names unknown GPU devices: {unknown}"
+                )
+            live = [d for d in gpus if d in set(self._initial_live)]
+            if not live:
+                raise ServingError("initial_live must name at least one GPU device")
+        live_set = set(live)
+        self._fleet = {}
+        for name in gpus:
+            if name in live_set:
+                self._fleet[name] = FLEET_LIVE
+                self._fleet_since[name] = self._now
+            else:
+                self._fleet[name] = FLEET_PARKED
+                self.system.dispatcher.park(name)
+        self.initial_live = tuple(live)
+        self.batcher.set_live_filter(self._batcher_live)
+        if self._metrics.enabled:
+            self._metrics.gauge("serve", "fleet_live").set(len(live))
+
+    def _batcher_live(self, device: str) -> bool:
+        """Live filter handed to the batcher: a parked or booting device
+        must never surface a flush obligation (the dead-device-resurrect
+        bug an elastic fleet would otherwise trip)."""
+        fleet = self._fleet
+        return fleet is None or fleet.get(device, FLEET_LIVE) in _SERVABLE_STATES
+
+    def _live_count(self) -> int:
+        return sum(1 for state in self._fleet.values() if state == FLEET_LIVE)
+
+    def fleet_states(self) -> Dict[str, str]:
+        """The fleet state machine's current view (empty when static)."""
+        return dict(self._fleet) if self._fleet is not None else {}
+
+    def _record_scale(self, t_us: float, action: str, device: str) -> None:
+        self.scaling_events.append((t_us, action, device))
+        if self._obs.enabled:
+            self._obs.event(
+                "serve.scale", category="serve", ts=t_us,
+                action=action, device=device, fleet_live=self._live_count(),
+            )
+        if self._metrics.enabled:
+            self._metrics.counter("serve", f"scale_{action}").inc()
+            self._metrics.gauge("serve", "fleet_live").set(self._live_count())
+
+    def _accumulate_live(self, device: str, t_us: float) -> None:
+        since = self._fleet_since.pop(device, None)
+        if since is not None:
+            self._device_live_us[device] = (
+                self._device_live_us.get(device, 0.0) + (t_us - since)
+            )
+
+    def _apply_scale(self, t_us: float, action: str, device: str) -> None:
+        if action == SCALE_BOOT:
+            self._begin_boot(t_us, device)
+        elif action == SCALE_RETIRE:
+            self._begin_retire(t_us, device)
+        else:
+            raise ServingError(
+                f"unknown scaling action {action!r}; schedules replay only "
+                f"{DECISION_ACTIONS}"
+            )
+
+    def _begin_boot(self, t_us: float, device: str) -> None:
+        """Start booting a parked partition; live after ``boot_delay_us``."""
+        if self._fleet.get(device) != FLEET_PARKED:
+            return
+        self._fleet[device] = FLEET_BOOTING
+        self._boot_at[device] = t_us + self.boot_delay_us
+        self._record_scale(t_us, SCALE_BOOT, device)
+
+    def _finish_boot(self, device: str) -> None:
+        """Boot window closed: the partition joins the live set and its
+        shared sRPC runtime is warmed so the first batch pays no setup."""
+        self._fleet[device] = FLEET_LIVE
+        self._fleet_since[device] = self._now
+        self.system.dispatcher.unpark(device)
+        self.placer.mark_dirty(device)
+        try:
+            self._worker(device).ensure_runtime()
+        except (SRPCPeerFailure, NoReadyPartition, SPMError):
+            pass  # crashed while booting; recovery re-warms lazily
+        self._record_scale(self._now, SCALE_UP, device)
+        # New capacity: requests parked for want of a ready partition can
+        # now place (same move as the post-recovery path).
+        self._replace_parked()
+
+    def _begin_retire(self, t_us: float, device: str) -> None:
+        """Retire decision: stop placing, flush pending work, then park.
+
+        This is the crash-failover drain path minus the scrub — the
+        partition is healthy, so its pending batch executes normally and
+        the runtime closes cleanly once the device runs dry.
+        """
+        state = self._fleet.get(device)
+        if state == FLEET_BOOTING:
+            # Cancelled mid-boot: nothing placed yet, park immediately.
+            self._boot_at.pop(device, None)
+            self._fleet[device] = FLEET_PARKED
+            self._record_scale(t_us, SCALE_RETIRE, device)
+            self._record_scale(t_us, SCALE_PARK, device)
+            return
+        if state != FLEET_LIVE:
+            return
+        self._fleet[device] = FLEET_DRAINING
+        self.system.dispatcher.park(device)
+        self._record_scale(t_us, SCALE_RETIRE, device)
+        if self._obs.enabled:
+            self._drain_spans[device] = self._obs.begin(
+                "serve.drain", category="serve", detached=True,
+                ts=t_us, device=device,
+            )
+        self._flush(device, reason="drain")
+        self._park_at[device] = max(t_us, self._free_at.get(device, 0.0))
+
+    def _finish_park(self, device: str) -> None:
+        """Drain complete: close the runtime and leave the fleet."""
+        if self._fleet.get(device) != FLEET_DRAINING:
+            return
+        self._fleet[device] = FLEET_PARKED
+        self._accumulate_live(device, self._now)
+        worker = self._workers.get(device)
+        if worker is not None:
+            worker.abandon()
+        self.placer.mark_dirty(device)
+        self.placer.forget(device)
+        self._record_scale(self._now, SCALE_PARK, device)
+        self._obs.end(self._drain_spans.pop(device, NO_SPAN), ts=self._now)
+        # Backstop: anything still queued (a crash-requeue racing the
+        # drain) re-places on the surviving fleet, never runs here.
+        for request in self.batcher.evict(device):
+            self._place(request)
+
+    def _process_fleet_timers(self) -> None:
+        """Fire due boot-completions, then due parks (sorted by device,
+        so same-instant transitions are deterministic on both engines)."""
+        if self._boot_at:
+            for device in sorted(
+                d for d, t in self._boot_at.items() if t <= self._now
+            ):
+                del self._boot_at[device]
+                self._finish_boot(device)
+        if self._park_at:
+            for device in sorted(
+                d for d, t in self._park_at.items() if t <= self._now
+            ):
+                del self._park_at[device]
+                self._finish_park(device)
+
+    def _process_tick(self) -> None:
+        """Run one autoscaler evaluation if its grid instant has come."""
+        scaler = self.autoscaler
+        if scaler is None or self._next_tick_us is None:
+            return
+        if not self._more_arrivals:
+            # The arrival stream ended before this tick: cancel it rather
+            # than letting a controller-only event stretch the makespan —
+            # a replayed schedule has no ticks, and both runs must end at
+            # the same final instant.
+            self._next_tick_us = None
+            return
+        if self._next_tick_us > self._now:
+            return
+        t = self._next_tick_us
+        self._next_tick_us = None
+        live: List[str] = []
+        booting: List[str] = []
+        parked: List[str] = []
+        for device, state in self._fleet.items():
+            if state == FLEET_LIVE:
+                live.append(device)
+            elif state == FLEET_BOOTING:
+                booting.append(device)
+            elif state == FLEET_PARKED:
+                parked.append(device)
+        live.sort()
+        booting.sort()
+        parked.sort()
+        for action, device in scaler.evaluate(
+            t, live=live, booting=booting, parked=parked
+        ):
+            self._apply_scale(t, action, device)
+        if self._more_arrivals:
+            self._next_tick_us = t + scaler.policy.eval_interval_us
+
+    def _begin_run(self, scale_events: Sequence[Tuple[float, str, str]]):
+        """Validate the fixed scale schedule and arm the controller."""
+        scale_queue = sorted(scale_events)
+        for t_us, action, device in scale_queue:
+            if action not in DECISION_ACTIONS:
+                raise ServingError(
+                    f"scale event at {t_us} has action {action!r}; replayable "
+                    f"schedules contain only {DECISION_ACTIONS}"
+                )
+        if scale_queue:
+            self._ensure_fleet()
+        if self.autoscaler is not None and self._next_tick_us is None:
+            self._next_tick_us = self._now + self.autoscaler.policy.eval_interval_us
+        return scale_queue
 
     # -- the serving loop --------------------------------------------------
     def run(
@@ -266,30 +586,44 @@ class ServingSystem:
         arrivals: Iterable[Request],
         *,
         crash_events: Sequence[Tuple[float, str]] = (),
+        scale_events: Sequence[Tuple[float, str, str]] = (),
     ) -> ServingReport:
         """Serve an open-loop arrival stream to completion.
 
         ``crash_events`` is a sorted-or-not list of ``(time_us, device)``
         partition crashes injected mid-load (the figure-9 scenario lifted
-        into the serving layer).
+        into the serving layer).  ``scale_events`` is a fixed
+        ``(time_us, action, device)`` boot/retire schedule — typically a
+        previous autoscaled run's :meth:`ServingReport.scale_schedule` —
+        replayed deterministically on the virtual timeline.
 
         Event-engine loop: each step jumps the virtual clock to the next
-        event instant (an O(1) amortized merge of four heap/cursor peeks)
+        event instant (an O(1) amortized merge of heap/cursor peeks)
         and processes every event due at that instant in the fixed
-        recovery → arrival → crash → flush order, which is the same
-        virtual-time semantics as the legacy scan loop.
+        recovery → fleet-timer → scale → arrival → crash → flush order,
+        which is the same virtual-time semantics as the legacy scan loop.
         """
         pending = sorted(arrivals, key=_ARRIVAL_ORDER)
         crash_queue = sorted(crash_events)
-        ai = ci = 0
+        scale_queue = self._begin_run(scale_events)
+        ai = ci = si = 0
         n_pending, n_crash = len(pending), len(crash_queue)
+        n_scale = len(scale_queue)
         while True:
-            now = self._next_event_time(pending, ai, crash_queue, ci)
+            self._more_arrivals = ai < n_pending
+            now = self._next_event_time(pending, ai, crash_queue, ci, scale_queue, si)
             if now is None:
                 break
             if now > self._now:
                 self._now = now
             self._process_recoveries()
+            if self._fleet is not None:
+                self._process_fleet_timers()
+                while si < n_scale and scale_queue[si][0] <= self._now:
+                    _, action, device = scale_queue[si]
+                    self._apply_scale(self._now, action, device)
+                    si += 1
+                self._process_tick()
             while ai < n_pending and pending[ai].arrival_us <= self._now:
                 self.offer(pending[ai])
                 ai += 1
@@ -298,9 +632,9 @@ class ServingSystem:
                 ci += 1
             for device in self.batcher.due_partitions(self._now):
                 self._flush(device)
-        # A parked request with no pending recovery can never run (its
-        # partition was torn down outside the serving layer): report it
-        # expired rather than losing it silently.
+        # A parked request with no pending recovery or boot can never run
+        # (its partition was torn down outside the serving layer): report
+        # it expired rather than losing it silently.
         for request in self._parked:
             self._expire(request)
         self._parked.clear()
@@ -312,6 +646,8 @@ class ServingSystem:
         ai: int,
         crash_queue: Sequence[Tuple[float, str]],
         ci: int,
+        scale_queue: Sequence[Tuple[float, str, str]] = (),
+        si: int = 0,
     ) -> Optional[float]:
         """The earliest instant any event source has work, or None.
 
@@ -337,6 +673,28 @@ class ServingSystem:
         due = self.batcher.earliest_due()
         if due is not None and (t is None or due[0] < t):
             t = due[0]
+        if self._fleet is not None:
+            # The fleet is architecturally small (<= the SPM partition
+            # cap), so min() scans beat heap maintenance here.
+            if self._boot_at:
+                boot = min(self._boot_at.values())
+                if t is None or boot < t:
+                    t = boot
+            if self._park_at:
+                park = min(self._park_at.values())
+                if t is None or park < t:
+                    t = park
+            tick = self._next_tick_us
+            if (
+                tick is not None
+                and self._more_arrivals
+                and (t is None or tick < t)
+            ):
+                t = tick
+        if si < len(scale_queue):
+            scale = scale_queue[si][0]
+            if t is None or scale < t:
+                t = scale
         return t
 
     def offer(self, request: Request) -> AdmissionDecision:
@@ -357,8 +715,14 @@ class ServingSystem:
                 size=request.size, deadline_us=request.deadline_us,
             )
         decision = self.admission.offer(request, request.arrival_us)
+        scaler = self.autoscaler
         if not decision.admitted:
             self.slo.record_rejected(request, decision.reason)
+            if scaler is not None and decision.reason == REJECT_QUEUE_FULL:
+                # Queue-full is the admission signal the fleet can fix:
+                # the tenant's in-flight window is clogged with work
+                # waiting on capacity (rate-limit rejections are not).
+                scaler.observe_rejection(request.arrival_us)
             self._obs.end(
                 span, ts=request.arrival_us, outcome="rejected",
                 reason=decision.reason,
@@ -368,6 +732,8 @@ class ServingSystem:
             return decision
         self.slo.record_admitted(request)
         self._admitted.add(request.rid)
+        if scaler is not None:
+            scaler.observe_arrival(request.arrival_us)
         if span is not NO_SPAN:
             self._request_spans[request.rid] = span
         if self._metrics.enabled:
@@ -378,15 +744,40 @@ class ServingSystem:
     # -- placement and batching --------------------------------------------
     def _is_ready(self, mos) -> bool:
         device = mos.partition.device.name
+        if self._fleet is not None and self._fleet.get(device, FLEET_LIVE) != FLEET_LIVE:
+            return False
         return self._down_until.get(device, self._now) <= self._now
+
+    def _effective_depth(self, device_name: str) -> int:
+        """Pending queue depth plus requests still executing on the worker.
+
+        The batcher's per-device queue empties at every flush, but the
+        flushed work keeps the device busy until its completion instants
+        pass.  Scoring on the pending count alone made the placer stuff a
+        saturated device whose queue had just been flushed (its depth read
+        0 while its worker backlog grew without bound); counting the
+        not-yet-finished flushed requests keeps placement balanced against
+        actual device occupancy.  Integer arithmetic on recorded
+        completion instants, so both engines compute the same value.
+        """
+        backlog = self._inflight.get(device_name)
+        extra = 0
+        if backlog:
+            now = self._now
+            while backlog and backlog[0] <= now:
+                backlog.popleft()
+            extra = len(backlog)
+        return self.batcher.depth(device_name) + extra
 
     def _place(self, request: Request) -> None:
         try:
             mos = self.placer.place(
-                request, self.batcher.depth, is_ready=self._is_ready
+                request, self._effective_depth, is_ready=self._is_ready
             )
         except NoReadyPartition:
             self._parked.append(request)
+            if self.autoscaler is not None:
+                self.autoscaler.observe_parked(self._now)
             if self._obs.enabled:
                 self._obs.event(
                     "serve.park", category="serve", ts=self._now,
@@ -414,6 +805,14 @@ class ServingSystem:
         return getattr(span, "context", None)
 
     def _flush(self, device: str, *, reason: str = "due") -> None:
+        fleet = self._fleet
+        if fleet is not None and fleet.get(device, FLEET_LIVE) not in _SERVABLE_STATES:
+            # A stale flush obligation for a parked/booting partition must
+            # never resurrect it with a fresh worker: re-place the work on
+            # the surviving fleet (the drain path, minus the scrub).
+            for request in self.batcher.evict(device):
+                self._place(request)
+            return
         batch = self.batcher.flush(device, self._now, reason=reason)
         if batch is not None:
             self._execute_batch(batch)
@@ -432,12 +831,14 @@ class ServingSystem:
     def _execute_batch(self, batch) -> None:
         device = batch.device_name
         worker = self._worker(device)
+        inflight = self._inflight.setdefault(device, deque())
         start = max(batch.formed_us, self._free_at.get(device, 0.0))
         clock = self.system.clock
         cum = 0.0
         leftover: List[Request] = []
         crashed = False
         obs_on = self._obs.enabled
+        scaler = self.autoscaler
         partition = (
             self.system.spm.partition_for_device(device).name if obs_on else None
         )
@@ -464,7 +865,7 @@ class ServingSystem:
                     self.slo.record_duplicate_avoided(request)
                     continue
                 if start + cum > request.deadline_us:
-                    self._expire(request)
+                    self._expire(request, device=device)
                     continue
                 exec_start = start + cum
                 try:
@@ -485,7 +886,12 @@ class ServingSystem:
                     )
                 if self._metrics.enabled:
                     self._metrics.histogram("serve", "service_us").observe(service)
+                inflight.append(start + cum)
                 self._complete(request, start + cum, correct)
+                if scaler is not None:
+                    scaler.observe_completion(
+                        start + cum, start + cum - request.arrival_us, service
+                    )
                 if crashed_after:
                     crashed = True
                     leftover = list(batch.requests[index + 1:])
@@ -516,10 +922,15 @@ class ServingSystem:
                 completion_us - request.arrival_us
             )
 
-    def _expire(self, request: Request) -> None:
+    def _expire(self, request: Request, *, device: Optional[str] = None) -> None:
         self._expired.add(request.rid)
         self.slo.record_expired(request)
         self.admission.settle(request)
+        if device is not None:
+            # Settling releases the tenant's reserved bytes; the device it
+            # was queued on must rescore or incremental placement diverges
+            # from a full recompute (the expiry-path mark_dirty fix).
+            self.placer.mark_dirty(device)
         self._obs.end(
             self._request_spans.pop(request.rid, NO_SPAN),
             ts=self._now, outcome="expired",
@@ -588,7 +999,7 @@ class ServingSystem:
             worker.abandon()
         self.placer.mark_dirty(device)
         requeue = list(leftover)
-        if device in self._down_until:
+        if device in self._down_until or not self._batcher_live(device):
             requeue.extend(self.batcher.evict(device))
         for request in requeue:
             self.slo.record_requeued(request)
@@ -602,6 +1013,18 @@ class ServingSystem:
                 self._metrics.counter("serve", "requeued").inc()
             self._place(request)
 
+    def _replace_parked(self) -> None:
+        """Re-place requests parked for want of capacity (post-recovery
+        and post-boot); anything already past its deadline expires."""
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for request in parked:
+            if request.deadline_us < self._now:
+                self._expire(request)
+            else:
+                self._place(request)
+
     def _process_recoveries(self) -> None:
         heap = self._down_heap
         recovered: List[str] = []
@@ -614,18 +1037,46 @@ class ServingSystem:
             return
         for device in recovered:
             self.placer.mark_dirty(device)
-        if self._parked:
-            parked, self._parked = self._parked, []
-            for request in parked:
-                if request.deadline_us < self._now:
-                    self._expire(request)
-                else:
-                    self._place(request)
+        self._replace_parked()
 
     # -- reporting ---------------------------------------------------------
+    def _device_seconds(self) -> float:
+        """Fleet-on simulated seconds: live intervals summed per device.
+
+        A static fleet keeps every GPU partition powered for the whole
+        run; the elastic fleet only pays for the intervals the autoscaler
+        kept each device live (booting/draining time counts as live — the
+        device is powered while the mOS loads and the drain finishes)."""
+        if self._fleet is None:
+            gpus = sum(
+                1 for mos in self.system.moses.values() if mos.device_type == "gpu"
+            )
+            return gpus * self._now / 1e6
+        total = 0.0
+        for device in sorted(set(self._device_live_us) | set(self._fleet_since)):
+            total += self._device_live_us.get(device, 0.0)
+            since = self._fleet_since.get(device)
+            if since is not None:
+                total += self._now - since
+        return total / 1e6
+
+    def scale_fingerprint(self) -> str:
+        """Digest of the fleet trajectory — byte-identical across replays."""
+        lines = [
+            f"initial={','.join(self.initial_live)} "
+            f"boot_delay_us={self.boot_delay_us:.3f}"
+        ]
+        lines += [
+            f"{t_us:.6f} {action} {device}"
+            for t_us, action, device in self.scaling_events
+        ]
+        return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
     def report(self) -> ServingReport:
         if self._metrics.enabled:
             self._metrics.absorb("serve.batcher", self.batcher.stats)
+            if self.autoscaler is not None:
+                self._metrics.absorb("serve.autoscaler", self.autoscaler.stats)
             for device, worker in sorted(self._workers.items()):
                 self._metrics.absorb(
                     f"serve.worker:{device}",
@@ -655,4 +1106,9 @@ class ServingSystem:
                 }
                 for d, w in sorted(self._workers.items())
             },
+            device_seconds=self._device_seconds(),
+            scaling_events=tuple(self.scaling_events),
+            scale_fingerprint=self.scale_fingerprint(),
+            initial_live=self.initial_live,
+            fleet_states=self.fleet_states(),
         )

@@ -49,6 +49,18 @@ class ScanDeadlineBatcher:
         self._pending: Dict[str, List[Tuple[float, Request]]] = {}
         self.batches_formed = 0
         self.requests_batched = 0
+        self._live: Optional[Callable[[str], bool]] = None
+        self.compactions = 0
+        """Always 0: the scan batcher has no due heap to compact."""
+
+    def set_live_filter(self, live: Optional[Callable[[str], bool]]) -> None:
+        """Same contract as the heap batcher: non-live devices never
+        surface flush obligations."""
+        self._live = live
+
+    def _is_live(self, device_name: str) -> bool:
+        live = self._live
+        return live is None or live(device_name)
 
     def add(self, device_name: str, request: Request, now_us: float) -> bool:
         pending = self._pending.setdefault(device_name, [])
@@ -78,7 +90,9 @@ class ScanDeadlineBatcher:
 
     def earliest_due(self) -> Optional[Tuple[float, str]]:
         due = [
-            (self.due_at(d), d) for d, p in sorted(self._pending.items()) if p
+            (self.due_at(d), d)
+            for d, p in sorted(self._pending.items())
+            if p and self._is_live(d)
         ]
         due = [(t, d) for t, d in due if t is not None]
         return min(due) if due else None
@@ -103,6 +117,8 @@ class ScanDeadlineBatcher:
     def due_partitions(self, now_us: float) -> List[str]:
         out = []
         for device_name in sorted(self._pending):
+            if not self._is_live(device_name):
+                continue
             due = self.due_at(device_name)
             if due is not None and due <= now_us:
                 out.append(device_name)
@@ -139,6 +155,9 @@ class ScanSpatialPlacer:
 
     def mark_dirty(self, device_name: str) -> None:
         """No cache to invalidate: every placement rescores everything."""
+
+    def forget(self, device_name: str) -> None:
+        """No cache to drop either (elastic-fleet retire path)."""
 
     def score(self, mos, queue_depth: int) -> PartitionScore:
         device = mos.partition.device
@@ -223,19 +242,29 @@ class LegacyServingSystem(ServingSystem):
             max_delay_us=self.batcher.max_delay_us,
         )
         self.placer = ScanSpatialPlacer(system.dispatcher)
+        if self._fleet is not None:
+            # The heap batcher got the live filter in _ensure_fleet; the
+            # scan batcher that just replaced it needs the same view.
+            self.batcher.set_live_filter(self._batcher_live)
 
     def run(
         self,
         arrivals: Iterable[Request],
         *,
         crash_events: Sequence[Tuple[float, str]] = (),
+        scale_events: Sequence[Tuple[float, str, str]] = (),
     ) -> ServingReport:
         """The original scan loop: rebuild the event list and re-scan every
-        queue on every step."""
+        queue on every step.  Same per-instant processing order as the
+        heap engine (recovery → fleet-timer → scale → arrival → crash →
+        flush), so a replayed scale schedule renders identically here.
+        """
         pending = sorted(arrivals, key=lambda r: (r.arrival_us, r.rid))
         crash_queue = sorted(crash_events)
-        ai = ci = 0
+        scale_queue = self._begin_run(scale_events)
+        ai = ci = si = 0
         while True:
+            self._more_arrivals = ai < len(pending)
             events: List[Tuple[float, int]] = []
             if self._down_until:
                 events.append((min(self._down_until.values()), 0))
@@ -246,10 +275,26 @@ class LegacyServingSystem(ServingSystem):
             due = self.batcher.earliest_due()
             if due is not None:
                 events.append((due[0], 3))
+            if self._fleet is not None:
+                if self._boot_at:
+                    events.append((min(self._boot_at.values()), 4))
+                if self._park_at:
+                    events.append((min(self._park_at.values()), 5))
+                if self._next_tick_us is not None and self._more_arrivals:
+                    events.append((self._next_tick_us, 6))
+            if si < len(scale_queue):
+                events.append((scale_queue[si][0], 7))
             if not events:
                 break
             self._now = max(self._now, min(events)[0])
             self._process_recoveries()
+            if self._fleet is not None:
+                self._process_fleet_timers()
+                while si < len(scale_queue) and scale_queue[si][0] <= self._now:
+                    _, action, device = scale_queue[si]
+                    self._apply_scale(self._now, action, device)
+                    si += 1
+                self._process_tick()
             while ai < len(pending) and pending[ai].arrival_us <= self._now:
                 self.offer(pending[ai])
                 ai += 1

@@ -103,6 +103,65 @@ class SpatialPlacer:
         """
         self._dirty.add(device_name)
 
+    def forget(self, device_name: str) -> None:
+        """Drop a device's cached terms entirely (it left the live fleet).
+
+        A retired partition's runtime is closed and its mOS may recover
+        into a different reservation shape; the next placement that
+        considers the device recomputes from scratch.
+        """
+        self._cached.pop(device_name, None)
+        self._dirty.discard(device_name)
+
+    def audit_parity(self, queue_depths: DepthSource) -> List[str]:
+        """Compare every clean cached score term against a fresh recompute.
+
+        Returns divergence descriptions (empty means bit-exact parity
+        between incremental and full scoring).  Devices in the dirty set
+        are skipped — they are *known* stale and recompute before their
+        next use; a divergence on a clean entry is the real bug: some
+        mutation path (e.g. request expiry releasing reserved bytes)
+        forgot to ``mark_dirty``.
+        """
+        self._sync()
+        if callable(queue_depths):
+            depth_of = queue_depths
+        else:
+            depth_of = lambda name: queue_depths.get(name, 0)  # noqa: E731
+        problems: List[str] = []
+        weight_queue = self.weight_queue
+        for name in sorted(self._cached):
+            if name in self._dirty:
+                continue
+            mos = self._by_name.get(name)
+            if mos is None:
+                problems.append(f"{name}: cached terms for an unknown device")
+                continue
+            device = mos.partition.device
+            contexts = (
+                device.active_contexts() if hasattr(device, "active_contexts") else 0
+            )
+            reserved = mos.manager.reserved_bytes
+            fresh = (
+                self.weight_contexts * contexts,
+                self.weight_reserved_per_gib * (reserved / float(1 << 30)),
+                contexts,
+                reserved,
+            )
+            cached = self._cached[name]
+            if cached != fresh:
+                problems.append(f"{name}: cached terms {cached!r} != fresh {fresh!r}")
+                continue
+            depth = depth_of(name)
+            cached_score = (cached[0] + weight_queue * depth) + cached[1]
+            fresh_score = (fresh[0] + weight_queue * depth) + fresh[1]
+            if cached_score != fresh_score:
+                problems.append(
+                    f"{name}: incremental score {cached_score!r} != "
+                    f"full {fresh_score!r}"
+                )
+        return problems
+
     def _terms(self, mos) -> Tuple[float, float, int, int]:
         """The cached (contexts_term, reserved_term) pair for one device."""
         name = mos.partition.device.name

@@ -58,6 +58,12 @@ class SLOAccount:
         return nearest_rank(sorted(self.latencies), pct)
 
     @property
+    def p99_us(self) -> float:
+        """Numeric p99 latency (the ``p99_us`` row field unformatted) —
+        the autoscaler benchmark compares these across fleet modes."""
+        return self.percentile(99)
+
+    @property
     def window_us(self) -> float:
         if self.first_arrival_us is None:
             return 0.0
@@ -140,6 +146,15 @@ class SLOTracker:
     # -- export ------------------------------------------------------------
     def accounts(self) -> Dict[str, SLOAccount]:
         return dict(self._accounts)
+
+    def percentiles(self, pct: float = 99.0) -> Dict[str, float]:
+        """tenant -> numeric nearest-rank latency percentile, every tenant
+        with at least one completion (deterministic iteration order)."""
+        return {
+            name: self._accounts[name].percentile(pct)
+            for name in sorted(self._accounts)
+            if self._accounts[name].latencies
+        }
 
     def table(self) -> str:
         """The per-tenant SLO summary, sorted by tenant name."""

@@ -109,6 +109,41 @@ def test_engines_agree_under_injected_crash():
     assert states[0]["audit"] == []
 
 
+@pytest.mark.parametrize("seed", [2022, 7])
+def test_engines_agree_under_expiry_heavy_load(seed):
+    """Tight deadlines provoke mid-batch expiries; the expiry path must
+    keep the incremental placer's cached scores bit-equal to a full
+    recompute (the expiry-path ``mark_dirty`` fix)."""
+    states = []
+    systems = []
+    for cls in ENGINES:
+        serving = cls(
+            make_figure9_system(num_gpus=2), max_batch=4, max_delay_us=1_500.0
+        )
+        arrivals = []
+        for i in range(4):
+            tenant = serving.add_tenant(
+                TenantSpec(
+                    f"tenant-{i}",
+                    rate_limit_rps=2_000.0,
+                    burst=16,
+                    deadline_us=1_800.0,
+                )
+            )
+            arrivals += open_loop_arrivals(
+                tenant, count=25, seed=seed + i, mean_interarrival_us=700.0
+            )
+        states.append(observable_state(serving.run(arrivals)))
+        systems.append(serving)
+    assert states[0] == states[1]
+    assert states[0]["audit"] == []
+    assert states[0]["expired"], "scenario must actually provoke expiries"
+    # Bit-exact score parity: every clean cached term in the incremental
+    # placer must equal a fresh ground-truth recompute.
+    heap_engine = systems[0]
+    assert heap_engine.placer.audit_parity(heap_engine.batcher.depth) == []
+
+
 @pytest.mark.parametrize("seed", [2022, 31337])
 def test_engines_agree_on_synthetic_scale_trace(seed):
     """The loadgen regime: thousands of tenants, Zipf popularity, bursty
