@@ -26,6 +26,20 @@ document's ``schema`` tag:
   autoscaled row's (and the recorded equality flags say so);
 * the savings block is consistent with the static/autoscaled rows.
 
+``cronus.bench_llm/v1`` (``benchmarks/bench_llm.py``):
+
+* the envelope (schema tag, model/paging config, rows, speedup, replay,
+  recovery) with required keys and sane types;
+* exactly one ``continuous``, ``static``, ``replay`` and ``crash`` row,
+  each with positive token counts and 64-hex token/SLO fingerprints;
+* the replay row's fingerprints byte-equal the continuous row's (and the
+  recorded equality flag says so);
+* the speedup block is consistent with the continuous/static rows and
+  shows continuous ahead;
+* the recovery block reports real crashes with zero scrub violations,
+  zero cross-sequence KV leaks, exactly-once re-prefill and no lost
+  sequences.
+
 Usage: ``python scripts/check_bench_schema.py [BENCH_*.json]``
 Exit status 0 = the document honours its contract.
 """
@@ -281,9 +295,157 @@ def validate_autoscale(doc) -> list:
     return failures
 
 
+LLM_SCHEMA = "cronus.bench_llm/v1"
+LLM_ROW_CONFIGS = ("continuous", "static", "replay", "crash")
+LLM_ROW_FIELDS = {
+    "config": str,
+    "mode": str,
+    "sequences": int,
+    "devices": int,
+    "max_running": int,
+    "wall_s": (int, float),
+    "makespan_us": (int, float),
+    "tokens": int,
+    "tokens_per_s": (int, float),
+    "finished": int,
+    "expired": int,
+    "preempted": int,
+    "reprefills": int,
+    "ttft_p50_us": (int, float),
+    "ttft_p99_us": (int, float),
+    "itl_p50_us": (int, float),
+    "itl_p99_us": (int, float),
+    "token_fingerprint": str,
+    "slo_fingerprint": str,
+}
+LLM_CONFIG_FIELDS = {
+    "devices": int,
+    "max_running": int,
+    "tenants": int,
+    "sequences_per_tenant": int,
+    "seed": int,
+    "mean_interarrival_us": (int, float),
+    "n_layers": int,
+    "d_model": int,
+    "kv_dtype_bytes": int,
+    "block_tokens": int,
+    "kv_bytes_per_token": int,
+    "pages_per_block": int,
+}
+LLM_SPEEDUP_FIELDS = {
+    "continuous_tokens_per_s": (int, float),
+    "static_tokens_per_s": (int, float),
+    "ratio": (int, float),
+}
+# "exactly_once_reprefill" is a bool, which _check_fields rejects by
+# design (bools pass isinstance against int); it gets its own `is True`
+# check in the validator instead.
+LLM_RECOVERY_FIELDS = {
+    "crashes": list,
+    "preempted": int,
+    "reprefills": int,
+    "scrub_violations": int,
+    "kv_leaks": int,
+    "sequences_lost": int,
+}
+
+
+def validate_llm(doc) -> list:
+    """All ``cronus.bench_llm/v1`` violations (empty list = valid)."""
+    failures = []
+    if not isinstance(doc, dict):
+        return [f"document root must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != LLM_SCHEMA:
+        failures.append(f"schema tag {doc.get('schema')!r} != {LLM_SCHEMA!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        failures.append(f"mode {doc.get('mode')!r} must be 'full' or 'smoke'")
+    _check_fields(doc.get("config"), LLM_CONFIG_FIELDS, "config", failures)
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        failures.append("rows must be a non-empty list")
+        rows = []
+    by_config = {}
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not _check_fields(row, LLM_ROW_FIELDS, where, failures):
+            continue
+        if row.get("config") not in LLM_ROW_CONFIGS:
+            failures.append(
+                f"{where}: config {row.get('config')!r} not in {LLM_ROW_CONFIGS}"
+            )
+        for key in ("token_fingerprint", "slo_fingerprint"):
+            if not _is_fingerprint(row.get(key)):
+                failures.append(f"{where}: {key} is not 64 hex chars")
+        for key in ("sequences", "tokens", "tokens_per_s", "makespan_us"):
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                failures.append(f"{where}: {key} must be positive, got {value}")
+        by_config[row.get("config")] = row
+    for config in LLM_ROW_CONFIGS:
+        if config not in by_config:
+            failures.append(f"rows: no {config!r} row")
+
+    continuous = by_config.get("continuous")
+    static = by_config.get("static")
+    replay = by_config.get("replay")
+    crash = by_config.get("crash")
+
+    speedup = doc.get("speedup")
+    if _check_fields(speedup, LLM_SPEEDUP_FIELDS, "speedup", failures):
+        ratio = speedup.get("ratio")
+        if isinstance(ratio, (int, float)) and ratio <= 1.0:
+            failures.append(
+                f"speedup ratio {ratio} does not beat the static baseline"
+            )
+        if continuous is not None and static is not None:
+            if speedup.get("continuous_tokens_per_s") != continuous.get(
+                "tokens_per_s"
+            ) or speedup.get("static_tokens_per_s") != static.get("tokens_per_s"):
+                failures.append("speedup block inconsistent with the rows")
+
+    replay_block = doc.get("replay")
+    if not isinstance(replay_block, dict):
+        failures.append("replay block missing")
+    else:
+        if replay_block.get("fingerprints_equal") is not True:
+            failures.append("replay: fingerprints_equal is not true")
+        if continuous is not None and replay is not None:
+            for key in ("token_fingerprint", "slo_fingerprint"):
+                if replay.get(key) != continuous.get(key):
+                    failures.append(
+                        f"replay row {key} differs from the continuous row"
+                    )
+
+    recovery = doc.get("recovery")
+    if _check_fields(recovery, LLM_RECOVERY_FIELDS, "recovery", failures):
+        if not recovery.get("crashes"):
+            failures.append("recovery: no crashes recorded")
+        if recovery.get("scrub_violations"):
+            failures.append(
+                f"recovery: {recovery['scrub_violations']} unscrubbed KV bytes"
+            )
+        if recovery.get("kv_leaks"):
+            failures.append(
+                f"recovery: {recovery['kv_leaks']} cross-sequence KV leaks"
+            )
+        if recovery.get("exactly_once_reprefill") is not True:
+            failures.append("recovery: exactly_once_reprefill is not true")
+        if recovery.get("sequences_lost"):
+            failures.append(
+                f"recovery: {recovery['sequences_lost']} sequences lost"
+            )
+        if crash is not None and recovery.get("reprefills") != crash.get(
+            "reprefills"
+        ):
+            failures.append("recovery block inconsistent with the crash row")
+    return failures
+
+
 VALIDATORS = {
     SCHEMA: validate,
     AUTOSCALE_SCHEMA: validate_autoscale,
+    LLM_SCHEMA: validate_llm,
 }
 
 
@@ -312,6 +474,16 @@ def main(argv) -> int:
             f"bench schema ok: {len(rows)} rows, "
             f"{savings['saving_fraction']:.1%} device-seconds saved, "
             f"worst gated p99 ratio {p99['worst_ratio']}x, replays byte-identical"
+        )
+        return 0
+    if tag == LLM_SCHEMA:
+        speed = doc["speedup"]
+        recovery = doc["recovery"]
+        print(
+            f"bench schema ok: {len(rows)} rows, continuous "
+            f"{speed['continuous_tokens_per_s']:,.0f} tok/s = "
+            f"{speed['ratio']}x static, {len(recovery['crashes'])} crashes "
+            f"with exactly-once re-prefill, replay byte-identical"
         )
         return 0
     heap_max = max(r["arrivals"] for r in rows if r["engine"] == "heap")

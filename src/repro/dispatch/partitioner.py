@@ -82,6 +82,14 @@ class PartitionedRuntime:
     def cpu_handle(self) -> EnclaveHandle:
         return self._cpu
 
+    @property
+    def gpu_channel(self):
+        """The CUDA mEnclave's sRPC channel, for callers that stream raw
+        records on their own stream ids (e.g. LLM token streaming) instead
+        of going through the cuda* wrappers.  None if no CUDA mEnclave was
+        partitioned."""
+        return self._gpu
+
     def debug_gpu_buffer(self, handle: int) -> np.ndarray:
         """Simulator-only backdoor: a direct view of a GPU buffer, with no
         timing charge.  Used by harnesses that model communication timing

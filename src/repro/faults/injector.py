@@ -68,6 +68,8 @@ SITES = (
     "partition.write",      # Partition.write (any stage-2 mediated store)
     "mos.tick",             # MicroOS heartbeat (hang suppression)
     "shim.spin",            # SpinLock.try_acquire (spin on shared memory)
+    "llm.decode.step",      # LLMEngine decode iteration boundary (crash =
+                            # partition dies mid-decode with live KV pages)
 )
 
 

@@ -107,6 +107,38 @@ def slo_table(rows: Iterable[Mapping[str, object]]) -> str:
     )
 
 
+#: Column order of the per-token SLO summary (one row per tenant) used by
+#: the LLM serving engine.  Kept separate from :data:`SLO_COLUMNS` so the
+#: request-level table (and every recorded fingerprint built on it) stays
+#: byte-identical for non-token workloads.
+TOKEN_SLO_COLUMNS = (
+    "tenant",
+    "sequences",
+    "finished",
+    "preempted",
+    "reprefills",
+    "tokens",
+    "ttft_p50_us",
+    "ttft_p99_us",
+    "itl_p50_us",
+    "itl_p99_us",
+    "tokens_per_s",
+)
+
+
+def token_slo_table(rows: Iterable[Mapping[str, object]]) -> str:
+    """The per-tenant *token* SLO summary of an LLM serving run.
+
+    ``rows`` come from :meth:`repro.serve.slo.SLOAccount.token_row` —
+    string-formatted with fixed precision like the request-level table,
+    so the rendered text fingerprints byte-identically across replays.
+    """
+    return format_table(
+        list(TOKEN_SLO_COLUMNS),
+        [[row.get(c, "-") for c in TOKEN_SLO_COLUMNS] for row in rows],
+    )
+
+
 def span_tree(spans: Sequence[object], *, trace_id: object = None) -> str:
     """Render causal spans (``repro.obs``) as an indented parent/child tree.
 

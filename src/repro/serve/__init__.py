@@ -30,6 +30,11 @@ package builds the serving subsystem on top of them:
   controller: sliding-window demand/pressure signals, a deterministic
   target-tracking policy, and boot/retire decisions the frontend applies
   as virtual-time events (replayable via ``scale_events``).
+* :mod:`repro.serve.llm` — the continuous-batching LLM frontend:
+  token-granular :class:`LLMEngine` over paged enclave KV memory
+  (:mod:`repro.workloads.llm`), with per-token SLOs (TTFT/ITL), token
+  streaming over sRPC, and crash-under-decode recovery (scrubbed KV,
+  exactly-once re-prefill).
 * :mod:`repro.serve.legacy` — the pre-heap scan engine, preserved
   verbatim for the scheduler-equivalence suite and the scale benchmark's
   baseline (deliberately not exported here).
@@ -55,8 +60,22 @@ from repro.serve.autoscaler import (
     SlidingWindow,
     WindowSnapshot,
 )
-from repro.serve.batcher import Batch, DeadlineBatcher
+from repro.serve.batcher import (
+    Batch,
+    ContinuousBatcher,
+    DeadlineBatcher,
+    MODE_CONTINUOUS,
+    MODE_STATIC,
+)
 from repro.serve.frontend import ServingReport, ServingSystem
+from repro.serve.llm import (
+    LLMEngine,
+    LLMReport,
+    LLMRequest,
+    LLMServingError,
+    SequenceState,
+    llm_arrivals,
+)
 from repro.serve.loadgen import (
     LoadProfile,
     generate_trace,
@@ -76,10 +95,18 @@ __all__ = [
     "AutoscalerError",
     "AutoscalerPolicy",
     "Batch",
+    "ContinuousBatcher",
     "DECISION_ACTIONS",
     "DeadlineBatcher",
     "FullHistoryWindow",
+    "LLMEngine",
+    "LLMReport",
+    "LLMRequest",
+    "LLMServingError",
     "LoadProfile",
+    "MODE_CONTINUOUS",
+    "MODE_STATIC",
+    "SequenceState",
     "SlidingWindow",
     "WindowSnapshot",
     "PlacementError",
@@ -100,6 +127,7 @@ __all__ = [
     "TenantSpec",
     "generate_trace",
     "iter_trace_chunks",
+    "llm_arrivals",
     "open_loop_arrivals",
     "synthetic_service_model",
     "tenant_specs",

@@ -17,7 +17,7 @@ from __future__ import annotations
 import random
 import sys
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.serve.tenants import Tenant, TenantRegistry
 
@@ -58,8 +58,12 @@ class Request:
 
     @property
     def memory_bytes(self) -> int:
-        """Accelerator-memory estimate charged against the tenant quota."""
-        return 2 * self.size * self.size * 4
+        """Accelerator-memory estimate charged against the tenant quota.
+
+        The matmul holds three device buffers at once — A, B, *and* the
+        result C — all ``size x size`` float32.
+        """
+        return 3 * self.size * self.size * 4
 
 
 @dataclass(frozen=True, **_DATACLASS_SLOTS)
@@ -75,6 +79,10 @@ class AdmissionController:
 
     def __init__(self, registry: TenantRegistry) -> None:
         self._registry = registry
+        self._settled: Set[str] = set()
+        #: Double-release attempts caught by the settled-rid guard (each
+        #: one is a frontend bug that would otherwise corrupt the quota).
+        self.double_settles = 0
 
     def offer(self, request: Request, now_us: float) -> AdmissionDecision:
         """Admit or reject ``request`` at simulated time ``now_us``."""
@@ -94,13 +102,26 @@ class AdmissionController:
         tenant.in_flight_bytes += request.memory_bytes
         return AdmissionDecision(True)
 
-    def settle(self, request: Request) -> None:
+    def settle(self, request: Request) -> bool:
         """Release the queue slot and quota of a terminal request
         (completed or expired).  Re-queued requests stay admitted — a
-        crash never re-charges the rate limiter."""
+        crash never re-charges the rate limiter.
+
+        Idempotent: a rid settles exactly once.  A second settle (e.g. a
+        request that expired while crash-parked and later surfaces on the
+        completion path) is counted in :attr:`double_settles` and ignored,
+        instead of silently double-releasing ``in_flight``/
+        ``in_flight_bytes`` behind a ``max(0, ...)`` clamp.  Returns True
+        iff this call released the slot.
+        """
+        if request.rid in self._settled:
+            self.double_settles += 1
+            return False
+        self._settled.add(request.rid)
         tenant = self._registry.get(request.tenant)
-        tenant.in_flight = max(0, tenant.in_flight - 1)
-        tenant.in_flight_bytes = max(0, tenant.in_flight_bytes - request.memory_bytes)
+        tenant.in_flight -= 1
+        tenant.in_flight_bytes -= request.memory_bytes
+        return True
 
 
 def open_loop_arrivals(
@@ -136,7 +157,7 @@ def open_loop_arrivals(
         out.append(
             Request(
                 tenant=tenant_key,
-                rid=f"{tenant_key}-{i:05d}",
+                rid=f"{tenant_key}-{i:07d}",
                 arrival_us=t,
                 deadline_us=t + spec.deadline_us,
                 kind=kind,

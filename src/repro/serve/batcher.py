@@ -259,3 +259,140 @@ class DeadlineBatcher:
                 round(self.requests_batched / formed, 3) if formed else 0.0
             ),
         }
+
+
+#: ContinuousBatcher scheduling modes.
+MODE_CONTINUOUS = "continuous"
+MODE_STATIC = "static"
+
+
+class _DeviceLanes:
+    """One device's sequence lanes: the running set plus the waiting queue."""
+
+    __slots__ = ("running", "waiting")
+
+    def __init__(self) -> None:
+        self.running: List[object] = []
+        self.waiting: List[Tuple[float, str, int, object]] = []
+
+
+class ContinuousBatcher:
+    """Token-granular batching of autoregressive sequences per device.
+
+    Where the :class:`DeadlineBatcher` forms one-shot request batches, this
+    batcher manages long-lived *sequences* (objects exposing ``.request``):
+    each device holds up to ``max_running`` resident sequences decoding in
+    lock-step iterations, plus a waiting queue ordered by
+    ``(arrival_us, rid)``.
+
+    Two modes, selected at construction so a benchmark can compare them on
+    the same trace:
+
+    * ``continuous`` (vLLM/Orca-style): finished sequences are evicted at
+      the token boundary they finish on, and waiting sequences are
+      admitted into the freed slots *at any boundary* — the iteration's
+      fixed launch overhead always amortizes over a full batch.
+    * ``static``: the device admits a batch only when its running set is
+      empty and then runs it to completion — the classic request-batching
+      baseline, where a long sequence holds every freed slot hostage.
+
+    The batcher is pure bookkeeping: it never touches the clock, so the
+    serving engine's virtual timeline stays the single source of time.
+    """
+
+    def __init__(
+        self, *, max_running: int = 8, mode: str = MODE_CONTINUOUS
+    ) -> None:
+        if max_running < 1:
+            raise ValueError(f"max_running must be at least 1, got {max_running}")
+        if mode not in (MODE_CONTINUOUS, MODE_STATIC):
+            raise ValueError(
+                f"mode must be {MODE_CONTINUOUS!r} or {MODE_STATIC!r}, got {mode!r}"
+            )
+        self.max_running = max_running
+        self.mode = mode
+        self._lanes: Dict[str, _DeviceLanes] = {}
+        self._seq = 0
+        self.admitted_mid_batch = 0
+        """Sequences admitted into a boundary where others kept running —
+        zero by construction in static mode."""
+        self.evictions = 0
+
+    def _lane(self, device_name: str) -> _DeviceLanes:
+        lane = self._lanes.get(device_name)
+        if lane is None:
+            lane = self._lanes[device_name] = _DeviceLanes()
+        return lane
+
+    def add(self, device_name: str, sequence) -> None:
+        """Queue a sequence for ``device_name`` (joins at the next boundary)."""
+        self._seq += 1
+        request = sequence.request
+        heapq.heappush(
+            self._lane(device_name).waiting,
+            (request.arrival_us, request.rid, self._seq, sequence),
+        )
+
+    def admit(self, device_name: str) -> List[object]:
+        """Move waiting sequences into free running slots (token boundary).
+
+        Continuous mode fills every free slot; static mode admits only
+        into an *empty* running set (run-to-completion).  Returns the
+        newly admitted sequences, in ``(arrival_us, rid)`` order.
+        """
+        lane = self._lanes.get(device_name)
+        if lane is None or not lane.waiting:
+            return []
+        if self.mode == MODE_STATIC and lane.running:
+            return []
+        admitted: List[object] = []
+        while lane.waiting and len(lane.running) < self.max_running:
+            sequence = heapq.heappop(lane.waiting)[3]
+            lane.running.append(sequence)
+            admitted.append(sequence)
+        if admitted and len(lane.running) > len(admitted):
+            self.admitted_mid_batch += len(admitted)
+        return admitted
+
+    def finish(self, device_name: str, sequence) -> None:
+        """Evict one finished (or preempted-elsewhere) running sequence."""
+        lane = self._lanes.get(device_name)
+        if lane is not None and sequence in lane.running:
+            lane.running.remove(sequence)
+            self.evictions += 1
+
+    def running(self, device_name: str) -> List[object]:
+        lane = self._lanes.get(device_name)
+        return list(lane.running) if lane is not None else []
+
+    def evict_device(self, device_name: str) -> List[object]:
+        """Drop and return *all* of a crashed device's sequences, running
+        first (in residence order) then waiting (in admission order)."""
+        lane = self._lanes.pop(device_name, None)
+        if lane is None:
+            return []
+        waiting = [heapq.heappop(lane.waiting)[3] for _ in range(len(lane.waiting))]
+        return lane.running + waiting
+
+    def depth(self, device_name: str) -> int:
+        """Resident + waiting sequences (the placement queue-depth signal)."""
+        lane = self._lanes.get(device_name)
+        if lane is None:
+            return 0
+        return len(lane.running) + len(lane.waiting)
+
+    def depths(self) -> Dict[str, int]:
+        return {
+            d: len(lane.running) + len(lane.waiting)
+            for d, lane in self._lanes.items()
+            if lane.running or lane.waiting
+        }
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "max_running": self.max_running,
+            "admitted_mid_batch": self.admitted_mid_batch,
+            "evictions": self.evictions,
+        }

@@ -216,7 +216,7 @@ def generate_trace(profile: LoadProfile) -> Tuple[List[TenantSpec], List[Request
         append(
             Request(
                 tenant=tenant,
-                rid=f"{tenant}-{seq:06d}",
+                rid=f"{tenant}-{seq:07d}",
                 arrival_us=t,
                 deadline_us=t + deadline,
                 size=int(sizes[i]),

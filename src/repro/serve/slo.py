@@ -13,23 +13,40 @@ Definitions (also in ``docs/serving.md``):
   tenant's own observation window (first arrival to last deadline), so a
   tenant's goodput is a function of its own stream only.
 * **rejection rate** — rejected / offered.
+
+Token-serving workloads additionally record per-token latencies:
+
+* **TTFT** — time-to-first-token: first decoded token's emission time
+  minus the request's arrival time (includes queueing + prefill).
+* **ITL** — inter-token latency: the gap between consecutive token
+  emissions of one sequence (excludes the first token).
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Dict, List, Optional
 
-from repro.metrics.report import slo_table
+from repro.metrics.report import slo_table, token_slo_table
 
 
 def nearest_rank(sorted_values: List[float], pct: float) -> float:
-    """The nearest-rank percentile (deterministic, no interpolation)."""
+    """The nearest-rank percentile (deterministic, no interpolation).
+
+    The rank is ``ceil(pct/100 * n)`` computed *exactly*: ``pct`` is read
+    as the decimal it prints as (``Fraction(str(pct))``), so non-integer
+    percentiles like 99.9 never pick up a one-off rank from binary
+    floating-point error (``99.9 * 1000 / 100`` is 999.0000000000001 in
+    floats; the old ``-(-pct * n // 100)`` trick then ceils to 1000).
+    """
     if not sorted_values:
         return 0.0
-    rank = -(-pct * len(sorted_values) // 100)  # ceil(pct/100 * n)
-    rank = max(1, min(len(sorted_values), int(rank)))
+    n = len(sorted_values)
+    frac = Fraction(str(pct))
+    rank = -((-n * frac.numerator) // (100 * frac.denominator))
+    rank = max(1, min(n, rank))
     return sorted_values[rank - 1]
 
 
@@ -49,6 +66,16 @@ class SLOAccount:
     latencies: List[float] = field(default_factory=list)
     first_arrival_us: Optional[float] = None
     last_deadline_us: float = 0.0
+    # -- per-token accounting (LLM serving; zero-cost for other workloads)
+    sequences: int = 0
+    finished_sequences: int = 0
+    preempted_sequences: int = 0
+    reprefills: int = 0
+    tokens: int = 0
+    ttft_us: List[float] = field(default_factory=list)
+    itl_us: List[float] = field(default_factory=list)
+    first_token_us: Optional[float] = None
+    last_token_us: float = 0.0
 
     @property
     def rejected_total(self) -> int:
@@ -100,6 +127,36 @@ class SLOAccount:
             "goodput_rps": f"{self.goodput_rps:.3f}",
         }
 
+    @property
+    def tokens_per_s(self) -> float:
+        """Decode throughput over the tenant's own token-emission window."""
+        window = self.last_token_us - (self.first_token_us or 0.0)
+        if self.first_token_us is None or window <= 0:
+            return 0.0
+        return self.tokens / (window / 1e6)
+
+    def ttft_percentile(self, pct: float) -> float:
+        return nearest_rank(sorted(self.ttft_us), pct)
+
+    def itl_percentile(self, pct: float) -> float:
+        return nearest_rank(sorted(self.itl_us), pct)
+
+    def token_row(self) -> Dict[str, object]:
+        """One rendered *token* table row (fixed formatting → byte-stable)."""
+        return {
+            "tenant": self.tenant,
+            "sequences": self.sequences,
+            "finished": self.finished_sequences,
+            "preempted": self.preempted_sequences,
+            "reprefills": self.reprefills,
+            "tokens": self.tokens,
+            "ttft_p50_us": f"{self.ttft_percentile(50):.1f}",
+            "ttft_p99_us": f"{self.ttft_percentile(99):.1f}",
+            "itl_p50_us": f"{self.itl_percentile(50):.1f}",
+            "itl_p99_us": f"{self.itl_percentile(99):.1f}",
+            "tokens_per_s": f"{self.tokens_per_s:.3f}",
+        }
+
 
 class SLOTracker:
     """All tenants' accounts plus the campaign-style deterministic export."""
@@ -143,6 +200,40 @@ class SLOTracker:
     def record_duplicate_avoided(self, request) -> None:
         self.account(request.tenant).duplicates_avoided += 1
 
+    # -- per-token recording (LLM serving) --------------------------------
+    def record_sequence(self, request) -> None:
+        self.account(request.tenant).sequences += 1
+
+    def record_sequence_finished(self, request) -> None:
+        self.account(request.tenant).finished_sequences += 1
+
+    def record_sequence_preempted(self, request) -> None:
+        """The sequence's partition crashed mid-decode; its KV pages were
+        scrubbed and it will be re-prefilled (exactly once)."""
+        self.account(request.tenant).preempted_sequences += 1
+
+    def record_reprefill(self, request) -> None:
+        self.account(request.tenant).reprefills += 1
+
+    def record_token(
+        self, request, emit_us: float, *, prev_token_us: Optional[float]
+    ) -> None:
+        """One decoded token at virtual time ``emit_us``.
+
+        ``prev_token_us`` is the same sequence's previous emission (None
+        for the first token): first tokens record TTFT against arrival,
+        later tokens record the inter-token gap.
+        """
+        acct = self.account(request.tenant)
+        acct.tokens += 1
+        if acct.first_token_us is None or emit_us < acct.first_token_us:
+            acct.first_token_us = emit_us
+        acct.last_token_us = max(acct.last_token_us, emit_us)
+        if prev_token_us is None:
+            acct.ttft_us.append(emit_us - request.arrival_us)
+        else:
+            acct.itl_us.append(emit_us - prev_token_us)
+
     # -- export ------------------------------------------------------------
     def accounts(self) -> Dict[str, SLOAccount]:
         return dict(self._accounts)
@@ -165,3 +256,15 @@ class SLOTracker:
     def fingerprint(self) -> str:
         """Digest of the table — byte-identical across same-seed runs."""
         return hashlib.sha256(self.table().encode()).hexdigest()
+
+    def token_table(self) -> str:
+        """The per-tenant token SLO summary (TTFT/ITL/tokens-per-second),
+        sorted by tenant name.  Separate from :meth:`table` so request-
+        level fingerprints recorded by earlier benchmarks never move."""
+        return token_slo_table(
+            [self._accounts[name].token_row() for name in sorted(self._accounts)]
+        )
+
+    def token_fingerprint(self) -> str:
+        """Digest of the token table — byte-identical across replays."""
+        return hashlib.sha256(self.token_table().encode()).hexdigest()

@@ -13,6 +13,14 @@
   (figure 10a).
 * :mod:`repro.workloads.tvm` — a TVM-like compiler lowering layer graphs to
   NPU instruction streams for inference (figure 10b).
+* :mod:`repro.workloads.llm` — the autoregressive transformer serving
+  workload: prefill/decode cost model plus a paged KV cache carved out of
+  partition stage-2 pages (the continuous-batching scenario).
 """
 
 from repro.workloads import kernels  # noqa: F401  (registers the kernels)
+from repro.workloads.llm import (  # noqa: F401
+    LLMConfig,
+    LLMCostModel,
+    PagedKVCache,
+)

@@ -1,0 +1,357 @@
+"""Continuous-batching LLM serving on paged enclave KV memory.
+
+Covers the workload layer (paging geometry, cost model, the paged KV
+cache over real stage-2 pages), the token-granular batcher, and the
+:class:`~repro.serve.llm.LLMEngine` end to end — including the
+crash-under-decode invariants the fault campaign leans on: victim KV
+pages scrubbed byte-for-byte, zero cross-sequence leakage, and
+exactly-once re-prefill of every mid-decode victim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.injector import CRASH, FaultPlan, FaultRule, armed
+from repro.hw.memory import PAGE_SIZE
+from repro.serve import (
+    ContinuousBatcher,
+    LLMEngine,
+    LLMRequest,
+    MODE_CONTINUOUS,
+    MODE_STATIC,
+    TenantSpec,
+    llm_arrivals,
+)
+from repro.systems import CronusSystem, TestbedConfig
+from repro.workloads.llm import (
+    KVCacheError,
+    LLMConfig,
+    LLMCostModel,
+    PagedKVCache,
+    token_stamp,
+)
+
+
+@pytest.fixture
+def system():
+    return CronusSystem(TestbedConfig(num_gpus=2))
+
+
+def kv_setup(system, **cfg_kw):
+    config = LLMConfig(**cfg_kw)
+    partition = system.spm.partition_for_device("gpu0")
+    return config, PagedKVCache(system.spm, partition, config)
+
+
+class TestLLMConfig:
+    def test_paging_geometry(self):
+        config = LLMConfig()  # 4 layers x 128 wide, fp16 KV
+        assert config.kv_bytes_per_token == 2 * 4 * 128 * 2 == 2048
+        assert config.block_bytes == 16 * 2048
+        assert config.pages_per_block == config.block_bytes // PAGE_SIZE == 8
+        assert config.blocks_for(0) == 0
+        assert config.blocks_for(1) == 1
+        assert config.blocks_for(16) == 1
+        assert config.blocks_for(17) == 2
+        # Footprint is page-granular: whole blocks of whole pages.
+        assert config.kv_footprint_bytes(17) == 2 * 8 * PAGE_SIZE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LLMConfig(n_layers=0)
+        with pytest.raises(ValueError):
+            LLMConfig(block_tokens=0)
+
+
+class TestLLMCostModel:
+    def test_decode_amortizes_launch_overhead(self, system):
+        config = LLMConfig()
+        cost = LLMCostModel(system.platform.costs, config)
+        one = cost.decode_step_us([64])
+        eight = cost.decode_step_us([64] * 8)
+        # Eight sequences share the per-layer launches, so a batched
+        # iteration is far cheaper than eight solo iterations.
+        assert eight < 8 * one
+        assert cost.decode_step_us([]) == 0.0
+        # More context = more attention flops.
+        assert cost.decode_step_us([128]) > cost.decode_step_us([16])
+
+    def test_prefill_scales_with_prompt(self, system):
+        config = LLMConfig()
+        cost = LLMCostModel(system.platform.costs, config)
+        assert cost.prefill_us(64) > cost.prefill_us(8) > 0.0
+
+
+class TestPagedKVCache:
+    def test_stamps_round_trip_through_stage2(self, system):
+        config, cache = kv_setup(system, block_tokens=4)
+        for i in range(10):
+            assert cache.append_token("seq-a") == i
+        assert cache.tokens_of("seq-a") == 10
+        assert len(cache.pages_of("seq-a")) == 3 * config.pages_per_block
+        for i in range(10):
+            assert cache.read_stamp("seq-a", i) == token_stamp("seq-a", i)
+        with pytest.raises(KVCacheError):
+            cache.read_stamp("seq-a", 10)
+
+    def test_release_recycles_scrubbed_pages(self, system):
+        config, cache = kv_setup(system)
+        for _ in range(20):
+            cache.append_token("seq-a")
+        pages = cache.pages_of("seq-a")
+        freed = cache.release("seq-a")
+        assert freed == len(pages) == 2 * config.pages_per_block
+        memory = system.platform.memory
+        assert all(not any(bytes(memory.page_view(p))) for p in pages)
+        # A new sequence re-uses the recycled pages without seeing them.
+        for _ in range(20):
+            cache.append_token("seq-b")
+        assert cache.leaked_blocks == 0
+        assert cache.release("missing") == 0
+
+    def test_partition_restart_invalidates_tables(self, system):
+        _, cache = kv_setup(system)
+        for _ in range(5):
+            cache.append_token("seq-a")
+        pages = cache.pages_of("seq-a")
+        system.fail_partition("gpu0", background=True)
+        assert cache.stale
+        with pytest.raises(KVCacheError):
+            cache.append_token("seq-a")
+        # Recovery scrubbed the orphaned KV pages before reclaiming them.
+        memory = system.platform.memory
+        assert all(not any(bytes(memory.page_view(p))) for p in pages)
+        assert cache.ensure_generation() is True
+        assert cache.sequences() == []
+        assert cache.append_token("seq-a") == 0  # fresh generation works
+
+
+def seq(rid, arrival=0.0):
+    request = LLMRequest(
+        tenant="t", rid=rid, arrival_us=arrival, deadline_us=1e9, kind="llm"
+    )
+
+    class _Seq:
+        def __init__(self, req):
+            self.request = req
+
+    return _Seq(request)
+
+
+class TestContinuousBatcher:
+    def test_continuous_admits_mid_batch(self):
+        batcher = ContinuousBatcher(max_running=2)
+        a, b, c = seq("a", 0.0), seq("b", 1.0), seq("c", 2.0)
+        batcher.add("gpu0", a)
+        batcher.add("gpu0", b)
+        batcher.add("gpu0", c)
+        assert batcher.admit("gpu0") == [a, b]
+        batcher.finish("gpu0", a)
+        assert batcher.admit("gpu0") == [c]  # joins b mid-batch
+        assert batcher.admitted_mid_batch == 1
+        assert batcher.depth("gpu0") == 2
+
+    def test_static_waits_for_empty_batch(self):
+        batcher = ContinuousBatcher(max_running=2, mode=MODE_STATIC)
+        a, b, c = seq("a", 0.0), seq("b", 1.0), seq("c", 2.0)
+        for s in (a, b, c):
+            batcher.add("gpu0", s)
+        assert batcher.admit("gpu0") == [a, b]
+        batcher.finish("gpu0", a)
+        assert batcher.admit("gpu0") == []  # b still running
+        batcher.finish("gpu0", b)
+        assert batcher.admit("gpu0") == [c]
+        assert batcher.admitted_mid_batch == 0
+
+    def test_evict_device_returns_running_then_waiting(self):
+        batcher = ContinuousBatcher(max_running=1)
+        a, b = seq("a", 0.0), seq("b", 1.0)
+        batcher.add("gpu0", a)
+        batcher.add("gpu0", b)
+        batcher.admit("gpu0")
+        assert batcher.evict_device("gpu0") == [a, b]
+        assert batcher.depth("gpu0") == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousBatcher(max_running=0)
+        with pytest.raises(ValueError):
+            ContinuousBatcher(mode="bogus")
+
+
+def build_engine(num_gpus=2, **kw):
+    system = CronusSystem(TestbedConfig(num_gpus=num_gpus))
+    return LLMEngine(system, **kw)
+
+
+def one_tenant_run(engine, *, count=24, crash_events=(), device=None):
+    tenant = engine.add_tenant(
+        TenantSpec(
+            "acme", rate_limit_rps=4_000.0, burst=64,
+            deadline_us=10_000_000.0, device_name=device,
+        )
+    )
+    arrivals = llm_arrivals(
+        tenant, engine.config, count=count, seed=7, mean_interarrival_us=400.0
+    )
+    return engine.run(arrivals, crash_events=crash_events)
+
+
+class TestLLMEngineEndToEnd:
+    def test_all_sequences_finish_exactly_once(self):
+        report = one_tenant_run(build_engine(max_running=4))
+        assert report.audit() == []
+        assert report.sequences_finished == len(report.admitted)
+        assert report.sequences_expired == 0
+        assert report.kv_leaks == 0
+        # Every admitted sequence prefilled exactly once (no crashes).
+        assert all(
+            audit == (1, 0, 0) for audit in report.prefill_audit.values()
+        )
+        # Tokens streamed out over sRPC, one record per emitted token.
+        streamed = sum(
+            s["tokens_streamed"] for s in report.streamer_stats.values()
+        )
+        assert streamed == report.total_tokens
+
+    def test_same_seed_runs_are_byte_identical(self):
+        a = one_tenant_run(build_engine(max_running=4))
+        b = one_tenant_run(build_engine(max_running=4))
+        assert a.token_fingerprint == b.token_fingerprint
+        assert a.token_table == b.token_table
+        assert a.slo_fingerprint == b.slo_fingerprint
+        assert a.makespan_us == b.makespan_us
+
+    def test_continuous_beats_static_on_tokens_per_s(self):
+        continuous = one_tenant_run(
+            build_engine(num_gpus=1, max_running=8, mode=MODE_CONTINUOUS),
+            count=48,
+        )
+        static = one_tenant_run(
+            build_engine(num_gpus=1, max_running=8, mode=MODE_STATIC),
+            count=48,
+        )
+        assert continuous.audit() == [] and static.audit() == []
+        assert continuous.total_tokens == static.total_tokens
+        assert continuous.tokens_per_s > static.tokens_per_s
+        assert continuous.batcher_stats["admitted_mid_batch"] > 0
+        assert static.batcher_stats["admitted_mid_batch"] == 0
+
+    def test_non_llm_request_is_refused(self):
+        from repro.serve.llm import LLMServingError
+
+        engine = build_engine()
+        engine.add_tenant(TenantSpec("t"))
+        with pytest.raises(LLMServingError):
+            engine.offer(
+                LLMRequest(
+                    tenant="t", rid="r", arrival_us=0.0, deadline_us=1e6,
+                    kind="matmul",
+                )
+            )
+
+
+class TestCrashUnderDecode:
+    def test_kv_scrub_and_exactly_once_reprefill(self):
+        engine = build_engine(max_running=4)
+        report = one_tenant_run(
+            engine, crash_events=[(2_500.0, "gpu0")]
+        )
+        assert report.crashes == ("gpu0",)
+        assert report.audit() == []
+        # The crash actually caught sequences mid-decode...
+        assert report.sequences_preempted >= 1
+        # ...whose KV pages recovery scrubbed before reclaiming...
+        assert report.scrub_violations == 0
+        assert report.kv_leaks == 0
+        # ...and each victim re-prefilled exactly once.
+        assert report.reprefills == report.sequences_preempted
+        for prefills, reprefills, victimized in report.prefill_audit.values():
+            assert prefills == 1 + victimized
+            assert reprefills == victimized
+        # Nothing was lost: every sequence still finished.
+        assert report.sequences_finished == len(report.admitted)
+
+    def test_bystander_tenant_rows_are_byte_identical(self):
+        # Tenant "acme" pinned to gpu0; crashing gpu1 (another tenant's
+        # partition) must not move a single byte of acme's per-token or
+        # per-request SLO rows.
+        def run(crash):
+            engine = build_engine(num_gpus=2, max_running=4)
+            acme = engine.add_tenant(
+                TenantSpec(
+                    "acme", rate_limit_rps=4_000.0, burst=64,
+                    deadline_us=10_000_000.0, device_name="gpu0",
+                )
+            )
+            other = engine.add_tenant(
+                TenantSpec(
+                    "other", rate_limit_rps=4_000.0, burst=64,
+                    deadline_us=10_000_000.0, device_name="gpu1",
+                )
+            )
+            arrivals = llm_arrivals(
+                acme, engine.config, count=16, seed=7,
+                mean_interarrival_us=400.0,
+            ) + llm_arrivals(
+                other, engine.config, count=16, seed=9,
+                mean_interarrival_us=400.0,
+            )
+            crashes = [(2_500.0, "gpu1")] if crash else []
+            report = engine.run(arrivals, crash_events=crashes)
+            accounts = engine.slo.accounts()
+            return report, accounts
+
+        clean, clean_accounts = run(crash=False)
+        crashed, crashed_accounts = run(crash=True)
+        assert crashed.crashes == ("gpu1",)
+        assert crashed.sequences_preempted >= 1
+        assert crashed.audit() == []
+        assert crashed_accounts["acme"].token_row() == clean_accounts["acme"].token_row()
+        assert crashed_accounts["acme"].row() == clean_accounts["acme"].row()
+        # The victim tenant's rows did move (the crash was real).
+        assert crashed_accounts["other"].token_row() != clean_accounts["other"].token_row()
+
+    def test_injected_crash_at_decode_boundary(self):
+        engine = build_engine(max_running=4)
+        plan = FaultPlan(
+            seed=3,
+            rules=(
+                FaultRule(
+                    site="llm.decode.step", action=CRASH, nth=10, target="gpu0"
+                ),
+            ),
+        )
+        with armed(plan, crash_handler=lambda d: engine.crash_device(d)):
+            report = one_tenant_run(engine)
+        assert report.crashes == ("gpu0",)
+        assert report.audit() == []
+        assert report.scrub_violations == 0
+        assert report.kv_leaks == 0
+        assert report.sequences_finished == len(report.admitted)
+
+    def test_crash_on_unknown_device_is_refused(self):
+        from repro.serve.llm import LLMServingError
+
+        engine = build_engine()
+        with pytest.raises(LLMServingError):
+            engine.crash_device("gpu9")
+
+
+class TestLLMArrivals:
+    def test_deterministic_and_kv_sized(self):
+        engine = build_engine()
+        tenant = engine.add_tenant(TenantSpec("a", rate_limit_rps=100.0))
+        first = llm_arrivals(tenant, engine.config, count=10, seed=5)
+        second = llm_arrivals(tenant, engine.config, count=10, seed=5)
+        assert [(r.rid, r.arrival_us, r.prompt_tokens) for r in first] == [
+            (r.rid, r.arrival_us, r.prompt_tokens) for r in second
+        ]
+        for r in first:
+            assert r.kind == "llm"
+            assert r.memory_bytes == engine.config.kv_footprint_bytes(
+                r.prompt_tokens + r.max_new_tokens
+            )
+        rids = [r.rid for r in first]
+        assert rids == sorted(rids)

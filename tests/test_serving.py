@@ -107,14 +107,28 @@ class TestAdmission:
         assert admission.offer(request("r-2"), 0.0).admitted
 
     def test_memory_quota(self):
-        # One size-8 matmul reserves 2 * 8*8 * 4 = 512 bytes.
-        _, admission = self.make(burst=8, memory_quota_bytes=512)
-        assert request().memory_bytes == 512
+        # One size-8 matmul holds A, B and C at once: 3 * 8*8 * 4 = 768 bytes.
+        _, admission = self.make(burst=8, memory_quota_bytes=768)
+        assert request().memory_bytes == 768
         first = request("r-0")
         assert admission.offer(first, 0.0).admitted
         assert admission.offer(request("r-1"), 0.0).reason == REJECT_QUOTA
         admission.settle(first)
         assert admission.offer(request("r-2"), 0.0).admitted
+
+    def test_settle_is_idempotent(self):
+        registry, admission = self.make(burst=8, max_queue_depth=4)
+        tenant = registry.get("t")
+        first = request("r-0")
+        assert admission.offer(first, 0.0).admitted
+        assert admission.settle(first) is True
+        # A second settle of the same rid (the crash-then-expire shape:
+        # expired while parked, then surfacing again on a completion
+        # path) must be ignored, not double-release the accounting.
+        assert admission.settle(first) is False
+        assert admission.double_settles == 1
+        assert tenant.in_flight == 0
+        assert tenant.in_flight_bytes == 0
 
 
 class TestOpenLoopArrivals:
@@ -138,11 +152,22 @@ class TestOpenLoopArrivals:
             TenantSpec("a", rate_limit_rps=100.0, deadline_us=5_000.0)
         )
         stream = open_loop_arrivals(tenant, count=5, seed=1, start_us=100.0)
-        assert [r.rid for r in stream] == [f"a-{i:05d}" for i in range(5)]
+        assert [r.rid for r in stream] == [f"a-{i:07d}" for i in range(5)]
         assert all(r.arrival_us > 100.0 for r in stream)
         times = [r.arrival_us for r in stream]
         assert times == sorted(times)
         assert all(r.deadline_us == r.arrival_us + 5_000.0 for r in stream)
+
+    def test_rid_order_survives_100k_ids(self):
+        # The rid padding must keep lexicographic order == numeric order
+        # well past 100k requests per tenant (the old 5/6-digit padding
+        # broke ordering at 100_000: "a-100000" < "a-99999").
+        tenant = TenantRegistry().register(TenantSpec("a", rate_limit_rps=100.0))
+        count = 100_050
+        stream = open_loop_arrivals(tenant, count=count, seed=3)
+        rids = [r.rid for r in stream]
+        assert rids == sorted(rids)
+        assert rids[-1] == f"a-{count - 1:07d}"
 
 
 class TestDeadlineBatcher:
@@ -224,6 +249,28 @@ class TestSLOMath:
         assert nearest_rank(values, 50) == 50.0
         assert nearest_rank(values, 99) == 99.0
         assert nearest_rank([7.0], 99) == 7.0
+
+    def test_nearest_rank_fractional_pct_is_exact(self):
+        # 99.9 * 1000 / 100 is 999.0000000000001 in binary floats; the
+        # old ceil trick rounded that up to rank 1000.  The exact rank
+        # for p99.9 of 1000 samples is 999.
+        values = [float(v) for v in range(1, 1001)]
+        assert nearest_rank(values, 99.9) == 999.0
+
+    def test_nearest_rank_matches_brute_force(self):
+        # Brute force definition: the smallest value v in the sorted list
+        # such that at least pct% of the samples are <= v (with the rank
+        # computed in exact rational arithmetic).
+        from fractions import Fraction
+
+        for pct in (50, 95, 99, 99.9):
+            target = Fraction(str(pct)) / 100
+            for n in range(1, 201):
+                values = [float(v) for v in range(1, n + 1)]
+                rank = next(
+                    k for k in range(1, n + 1) if Fraction(k, n) >= target
+                )
+                assert nearest_rank(values, pct) == values[rank - 1], (pct, n)
 
     def test_goodput_uses_tenant_local_window(self):
         acct = SLOAccount(tenant="t")
@@ -396,6 +443,34 @@ class TestCrashUnderLoad:
         latencies = serving.slo.accounts()["pinned"].latencies
         # At least one request waited out the recovery window.
         assert max(latencies) > 100_000.0
+
+    def test_crash_then_expire_settles_exactly_once(self):
+        # Regression for the double-release the settle() guard closes:
+        # a pinned tenant's requests park during the crash's recovery
+        # window, expire there, and must release their queue slot and
+        # quota bytes exactly once — the final accounting lands on
+        # exactly zero rather than being clamped there.
+        serving = build_serving(num_gpus=2)
+        serving.add_tenant(
+            TenantSpec(
+                "pinned",
+                rate_limit_rps=2_000.0,
+                burst=16,
+                deadline_us=50_000.0,  # expires inside the ~180 ms recovery
+                device_name="gpu0",
+            )
+        )
+        arrivals = open_loop_arrivals(
+            serving.registry.get("pinned"), count=20, seed=77,
+            mean_interarrival_us=2_000.0,
+        )
+        report = serving.run(arrivals, crash_events=[(10_000.0, "gpu0")])
+        assert report.audit_exactly_once() == []
+        assert len(report.expired) > 0  # the crash actually stranded work
+        tenant = serving.registry.get("pinned")
+        assert tenant.in_flight == 0
+        assert tenant.in_flight_bytes == 0
+        assert serving.admission.double_settles == 0
 
     def test_injected_crash_requeues_without_duplicates(self):
         serving, arrivals = two_tenant_scenario()
