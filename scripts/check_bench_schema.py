@@ -40,6 +40,20 @@ document's ``schema`` tag:
   zero cross-sequence KV leaks, exactly-once re-prefill and no lost
   sequences.
 
+``cronus.bench_cluster/v1`` (``benchmarks/bench_cluster.py``):
+
+* the envelope (schema tag, config, rows, scaling, failover, replay,
+  workflow) with required keys and sane types;
+* every scale row carries positive throughput numbers and a 64-hex
+  cluster fingerprint;
+* the scaling ratio honours its recorded floor (and a full-mode floor
+  must be >= the 4x acceptance bar);
+* the failover block reports a real kill with **zero** lost, duplicated,
+  orphaned or unscrubbed outcomes and a positive migration count;
+* the replay fingerprint byte-equals the failover run's;
+* the gateway workflow spans >= 2 nodes with a validated Chrome trace
+  and at least one cross-node causal span link.
+
 Usage: ``python scripts/check_bench_schema.py [BENCH_*.json]``
 Exit status 0 = the document honours its contract.
 """
@@ -442,10 +456,167 @@ def validate_llm(doc) -> list:
     return failures
 
 
+CLUSTER_SCHEMA = "cronus.bench_cluster/v1"
+CLUSTER_ROW_FIELDS = {
+    "nodes": int,
+    "devices": int,
+    "wall_s": (int, float),
+    "makespan_us": (int, float),
+    "completed": int,
+    "deadline_met": int,
+    "expired": int,
+    "throughput_rps": (int, float),
+    "steals": int,
+    "migrations": int,
+    "fingerprint": str,
+}
+CLUSTER_CONFIG_FIELDS = {
+    "gpus_per_node": int,
+    "max_batch": int,
+    "max_delay_us": (int, float),
+    "mean_rate_rps": (int, float),
+    "requests": int,
+    "tenants": int,
+    "seed": int,
+    "steal_threshold": int,
+    "service_model": str,
+}
+CLUSTER_SCALING_FIELDS = {
+    "low_nodes": int,
+    "high_nodes": int,
+    "low_rps": (int, float),
+    "high_rps": (int, float),
+    "ratio": (int, float),
+    "floor": (int, float),
+}
+# "exactly_once" is a bool and gets its own `is True` check (bools pass
+# isinstance against int, which _check_fields rejects by design).
+CLUSTER_FAILOVER_FIELDS = {
+    "nodes": int,
+    "killed_node": str,
+    "kill_t_us": (int, float),
+    "migrations": int,
+    "migrated_requests": int,
+    "orphaned": int,
+    "scrub_pages_audited": int,
+    "scrub_violations": int,
+    "restore_mismatches": int,
+    "lost": int,
+    "duplicated": int,
+    "completed": int,
+    "expired": int,
+    "fingerprint": str,
+}
+CLUSTER_WORKFLOW_FIELDS = {
+    "name": str,
+    "stages": int,
+    "nodes": list,
+    "nodes_spanned": int,
+    "cross_node_transfers": int,
+    "transfer_us": (int, float),
+    "makespan_us": (int, float),
+    "trace_events": int,
+    "trace_problems": list,
+    "causal_cross_node_links": int,
+}
+
+
+def validate_cluster(doc) -> list:
+    """All ``cronus.bench_cluster/v1`` violations (empty list = valid)."""
+    failures = []
+    if not isinstance(doc, dict):
+        return [f"document root must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != CLUSTER_SCHEMA:
+        failures.append(f"schema tag {doc.get('schema')!r} != {CLUSTER_SCHEMA!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        failures.append(f"mode {doc.get('mode')!r} must be 'full' or 'smoke'")
+    _check_fields(doc.get("config"), CLUSTER_CONFIG_FIELDS, "config", failures)
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        failures.append("rows must be a non-empty list")
+        rows = []
+    by_nodes = {}
+    for i, row in enumerate(rows):
+        where = f"rows[{i}]"
+        if not _check_fields(row, CLUSTER_ROW_FIELDS, where, failures):
+            continue
+        if not _is_fingerprint(row.get("fingerprint")):
+            failures.append(f"{where}: fingerprint is not 64 hex chars")
+        for key in ("nodes", "wall_s", "makespan_us", "throughput_rps"):
+            value = row.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                failures.append(f"{where}: {key} must be positive, got {value}")
+        by_nodes[row.get("nodes")] = row
+
+    scaling = doc.get("scaling")
+    if _check_fields(scaling, CLUSTER_SCALING_FIELDS, "scaling", failures):
+        for key in ("low_nodes", "high_nodes"):
+            if scaling.get(key) not in by_nodes:
+                failures.append(f"scaling references unmeasured point {key}")
+        ratio = scaling.get("ratio")
+        floor = scaling.get("floor")
+        if isinstance(ratio, (int, float)) and isinstance(floor, (int, float)):
+            if ratio < floor:
+                failures.append(
+                    f"scaling ratio {ratio}x below the recorded {floor}x floor"
+                )
+        if doc.get("mode") == "full" and isinstance(floor, (int, float)):
+            if floor < 4.0:
+                failures.append(
+                    f"full-mode scaling floor must be >= 4.0, got {floor}"
+                )
+
+    failover = doc.get("failover")
+    if _check_fields(failover, CLUSTER_FAILOVER_FIELDS, "failover", failures):
+        if not _is_fingerprint(failover.get("fingerprint")):
+            failures.append("failover: fingerprint is not 64 hex chars")
+        if failover.get("exactly_once") is not True:
+            failures.append("failover: exactly_once is not true")
+        for key in ("lost", "duplicated", "orphaned", "scrub_violations",
+                    "restore_mismatches"):
+            if failover.get(key):
+                failures.append(f"failover: {key} = {failover[key]} (must be 0)")
+        for key in ("migrations", "migrated_requests", "scrub_pages_audited"):
+            value = failover.get(key)
+            if isinstance(value, int) and value <= 0:
+                failures.append(f"failover: {key} must be positive, got {value}")
+
+    replay = doc.get("replay")
+    if not isinstance(replay, dict):
+        failures.append("replay block missing")
+    else:
+        if replay.get("fingerprints_equal") is not True:
+            failures.append("replay: fingerprints_equal is not true")
+        if failover is not None and isinstance(failover, dict):
+            if replay.get("fingerprint") != failover.get("fingerprint"):
+                failures.append("replay fingerprint differs from the failover row")
+
+    workflow = doc.get("workflow")
+    if _check_fields(workflow, CLUSTER_WORKFLOW_FIELDS, "workflow", failures):
+        if workflow.get("schema_ok") is not True:
+            failures.append("workflow: schema_ok is not true")
+        if workflow.get("trace_problems"):
+            failures.append(
+                f"workflow: trace has problems {workflow['trace_problems'][:3]}"
+            )
+        spanned = workflow.get("nodes_spanned")
+        if isinstance(spanned, int) and spanned < 2:
+            failures.append(
+                f"workflow spans {spanned} node(s); must cross the boundary"
+            )
+        for key in ("cross_node_transfers", "causal_cross_node_links"):
+            value = workflow.get(key)
+            if isinstance(value, int) and value < 1:
+                failures.append(f"workflow: {key} must be >= 1, got {value}")
+    return failures
+
+
 VALIDATORS = {
     SCHEMA: validate,
     AUTOSCALE_SCHEMA: validate_autoscale,
     LLM_SCHEMA: validate_llm,
+    CLUSTER_SCHEMA: validate_cluster,
 }
 
 
@@ -484,6 +655,18 @@ def main(argv) -> int:
             f"{speed['continuous_tokens_per_s']:,.0f} tok/s = "
             f"{speed['ratio']}x static, {len(recovery['crashes'])} crashes "
             f"with exactly-once re-prefill, replay byte-identical"
+        )
+        return 0
+    if tag == CLUSTER_SCHEMA:
+        scaling = doc["scaling"]
+        failover = doc["failover"]
+        workflow = doc["workflow"]
+        print(
+            f"bench schema ok: {len(rows)} rows, "
+            f"{scaling['low_nodes']}->{scaling['high_nodes']} nodes = "
+            f"{scaling['ratio']}x, failover lost {failover['lost']} of "
+            f"{failover['migrated_requests']} migrated, workflow spans "
+            f"{workflow['nodes_spanned']} nodes, replay byte-identical"
         )
         return 0
     heap_max = max(r["arrivals"] for r in rows if r["engine"] == "heap")

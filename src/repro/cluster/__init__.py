@@ -11,12 +11,41 @@ cross-node data-parallel trainer whose gradient exchange is *encrypted*
 """
 
 from repro.cluster.cluster import Cluster, ClusterError, ClusterNode
+from repro.cluster.images import ImageError, ImageRegistry
+from repro.cluster.migrate import (
+    MigrationError,
+    MigrationManager,
+    MigrationRecord,
+    TenantSession,
+    session_state,
+)
+from repro.cluster.serve import (
+    ClusterReport,
+    ClusterRouter,
+    ClusterServingSystem,
+    REJECT_NO_IMAGE,
+    rendezvous_score,
+    request_image,
+)
 from repro.cluster.trainer import DistributedResult, distributed_train
 
 __all__ = [
     "Cluster",
-    "ClusterNode",
     "ClusterError",
+    "ClusterNode",
+    "ClusterReport",
+    "ClusterRouter",
+    "ClusterServingSystem",
     "DistributedResult",
+    "ImageError",
+    "ImageRegistry",
+    "MigrationError",
+    "MigrationManager",
+    "MigrationRecord",
+    "REJECT_NO_IMAGE",
+    "TenantSession",
     "distributed_train",
+    "rendezvous_score",
+    "request_image",
+    "session_state",
 ]

@@ -11,8 +11,7 @@ reboot); the scheduler reassigns its work to surviving attested nodes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.dispatch.client import RemoteClient
 from repro.secure.monitor import AttestationError
@@ -33,6 +32,27 @@ class ClusterNode:
         self.gpus = gpus
         self.alive = True
         self.attested = False
+
+    def gpu_devices(self) -> List[str]:
+        """The node's GPU device names, sorted (deterministic)."""
+        return sorted(
+            name
+            for name, mos in self.system.moses.items()
+            if mos.device_type == "gpu"
+        )
+
+    def partition_restarts(self) -> Dict[str, int]:
+        """Per-partition restart counters (the mEnclave *generation*):
+        how many times each partition's proceed-trap recovery has run.
+        The cluster router reads these to see how battered a node is."""
+        return {
+            p.name: p.restarts
+            for p in sorted(self.system.spm.partitions(), key=lambda p: p.name)
+        }
+
+    def restarts(self) -> int:
+        """Total partition restarts on this node (sum of the counters)."""
+        return sum(self.partition_restarts().values())
 
     def device_certs(self) -> Dict[str, object]:
         return {
@@ -97,6 +117,14 @@ class Cluster:
         return verifications
 
     # -- membership / placement ------------------------------------------------
+    def __iter__(self) -> Iterator[ClusterNode]:
+        """Nodes in creation order — the deterministic iteration order the
+        cluster router's same-instant event processing depends on."""
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
     def attested_nodes(self) -> List[ClusterNode]:
         return [n for n in self.nodes if n.alive and n.attested]
 
@@ -105,6 +133,18 @@ class Cluster:
             if node.name == name:
                 return node
         raise ClusterError(f"no node named {name!r}")
+
+    def node_for(self, name: str) -> Optional[ClusterNode]:
+        """`node` without the raise: None for an unknown name (the router's
+        lookup — a rid routed to an expelled node must not except)."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        return None
+
+    def restart_counters(self) -> Dict[str, int]:
+        """node name -> total partition restarts (dead nodes included)."""
+        return {node.name: node.restarts() for node in self.nodes}
 
     def fail_node(self, name: str) -> None:
         self.node(name).fail()

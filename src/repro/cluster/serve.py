@@ -1,0 +1,582 @@
+"""Sharded cluster serving: N per-node frontends, one virtual timeline.
+
+The section VII-C extension lifted to the serving layer: every
+:class:`~repro.cluster.cluster.ClusterNode` runs its own complete
+single-node :class:`~repro.serve.frontend.ServingSystem` (its own
+admission controller, batcher, placer, SLO tracker — per-node admission
+is the sharding story), and the :class:`ClusterServingSystem` merges
+their event sources onto **one shared virtual timeline**, exactly the way
+the single-node engine merges its own heaps.  Event phases at one instant
+follow a fixed order (recoveries → migration deliveries → arrivals →
+node kills → partition crashes → flushes) over the cluster's
+deterministic node iteration order, so a cluster run replays
+byte-identically from its seed.
+
+Routing: each tenant has a **home node** by rendezvous (highest-random-
+weight) hashing over the *alive nodes holding the request's enclave
+image* (:mod:`repro.cluster.images`) — minimal movement when a node
+dies, no coordination state.  When the home's backlog (pending + not-yet-
+finished flushed work + parked) exceeds the cluster minimum by
+``steal_threshold``, the request is **stolen** by the least-backlogged
+candidate (cross-node placement scoring; ties break by node name).
+
+Node-crash failover: a node kill harvests every admitted-but-unfinished
+request on the corpse, fails its partitions (the SPM panic scrub runs),
+**byte-audits** the migrated tenants' session pages as zero, then drives
+:class:`~repro.cluster.migrate.MigrationManager` checkpoint/restore onto
+surviving nodes; the harvested requests are re-delivered to the restore
+target after the sealed blob's simulated network transfer.  The
+cluster-level exactly-once audit closes over *all* nodes, so a migrated
+rid completing on two machines, or on none, is a reported violation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+from operator import attrgetter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.cluster import Cluster, ClusterError, ClusterNode
+from repro.cluster.images import ImageRegistry
+from repro.cluster.migrate import MigrationManager, MigrationRecord
+from repro.metrics.report import format_table
+from repro.serve.admission import Request
+from repro.serve.frontend import ServingReport, ServingSystem
+from repro.serve.slo import SLOTracker
+from repro.serve.tenants import TenantSpec
+
+_ARRIVAL_ORDER = attrgetter("arrival_us", "rid")
+
+#: Rejection recorded when no alive node holds the request's image.
+REJECT_NO_IMAGE = "no-image-replica"
+
+
+def request_image(request: Request) -> str:
+    """The enclave image a serving request needs (``kernel:<kind>``)."""
+    return f"kernel:{request.kind}"
+
+
+def rendezvous_score(key: str, node: str) -> int:
+    """Deterministic HRW weight of ``key`` on ``node``."""
+    digest = hashlib.sha256(f"{key}|{node}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class _NodeState:
+    """One node's serving frontend plus its cluster-side bookkeeping."""
+
+    __slots__ = ("node", "name", "serving", "alive", "gpu_devices", "routed")
+
+    def __init__(self, node: ClusterNode, serving: ServingSystem) -> None:
+        self.node = node
+        self.name = node.name
+        self.serving = serving
+        self.alive = True
+        self.gpu_devices = node.gpu_devices()
+        self.routed = 0
+
+
+class ClusterRouter:
+    """Rendezvous sharding + backlog-threshold work stealing."""
+
+    def __init__(self, images: ImageRegistry, *, steal_threshold: int = 64) -> None:
+        self.images = images
+        self.steal_threshold = steal_threshold
+        self.steals = 0
+
+    def home(self, key: str, candidates: Sequence[str]) -> str:
+        """The HRW winner among ``candidates`` (must be non-empty)."""
+        return max(candidates, key=lambda n: (rendezvous_score(key, n), n))
+
+    def route(
+        self, key: str, candidates: Sequence[str], backlog: Dict[str, int]
+    ) -> str:
+        """Home node, unless its backlog is ``steal_threshold`` over the
+        least-loaded candidate — then the least-loaded candidate steals
+        (ties break by name: ``backlog`` keys iterate sorted)."""
+        home = self.home(key, candidates)
+        if len(candidates) == 1:
+            return home
+        coolest = min(candidates, key=lambda n: (backlog[n], n))
+        if backlog[home] - backlog[coolest] > self.steal_threshold:
+            self.steals += 1
+            return coolest
+        return home
+
+
+@dataclass
+class ClusterReport:
+    """Outcome of one :meth:`ClusterServingSystem.run`."""
+
+    node_names: Tuple[str, ...]
+    slo_text: str
+    """The cluster-merged per-tenant SLO table."""
+    fingerprint: str
+    """sha256 over the merged SLO table, the routing digest, the steal
+    count, every node's own fingerprint and the kill/migration logs —
+    byte-identical across replays of the same trace."""
+    makespan_us: float
+    per_node: Dict[str, ServingReport]
+    routed: Dict[str, int]
+    steals: int
+    unroutable: int
+    node_kills: Tuple[Tuple[float, str], ...]
+    migrations: Tuple[MigrationRecord, ...]
+    migrated_requests: int
+    orphaned: int
+    scrub_pages_audited: int
+    scrub_violations: int
+    restore_mismatches: int
+    completed_total: int = 0
+    deadline_met_total: int = 0
+    expired_total: int = 0
+    rejected_total: int = 0
+    restart_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Deadline-met completions per simulated second of makespan."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.deadline_met_total / (self.makespan_us / 1e6)
+
+    def audit_exactly_once(self) -> List[str]:
+        """The cluster-wide exactly-once audit: every admitted rid reaches
+        exactly one terminal state on exactly one node."""
+        problems: List[str] = []
+        admitted: Set[str] = set()
+        expired: Set[str] = set()
+        rejected_after: Set[str] = set()
+        completed_on: Dict[str, List[str]] = {}
+        duplicates_avoided = 0
+        for name in self.node_names:
+            rep = self.per_node[name]
+            admitted |= rep.admitted
+            expired |= rep.expired
+            rejected_after |= rep.rejected_after_admit
+            duplicates_avoided += rep.duplicates_avoided
+            for rid in rep.completed:
+                completed_on.setdefault(rid, []).append(name)
+        completed = set(completed_on)
+        for rid in sorted(completed_on):
+            nodes = completed_on[rid]
+            if len(nodes) > 1:
+                problems.append(f"{rid}: completed on {len(nodes)} nodes {nodes}")
+        for rid in sorted(completed & expired):
+            problems.append(f"{rid}: both completed and expired")
+        terminal = completed | expired | rejected_after
+        lost = admitted - terminal
+        if self.orphaned:
+            problems.append(f"{self.orphaned} migrated request(s) orphaned")
+        for rid in sorted(lost):
+            problems.append(f"{rid}: admitted but never completed nor expired")
+        for rid in sorted(completed - admitted):
+            problems.append(f"{rid}: completed without admission")
+        if duplicates_avoided:
+            problems.append(
+                f"{duplicates_avoided} completed request(s) were re-queued"
+            )
+        return problems
+
+    def node_table(self) -> str:
+        """A per-node summary table (the CLI's scale view)."""
+        rows = []
+        for name in self.node_names:
+            rep = self.per_node[name]
+            rows.append([
+                name,
+                "dead" if any(n == name for _, n in self.node_kills) else "alive",
+                self.routed.get(name, 0),
+                len(rep.admitted),
+                len(rep.completed),
+                len(rep.expired),
+                self.restart_counters.get(name, 0),
+                f"{rep.makespan_us:.1f}",
+            ])
+        return format_table(
+            ["node", "state", "routed", "admitted", "completed", "expired",
+             "restarts", "makespan_us"],
+            rows,
+        )
+
+
+class ClusterServingSystem:
+    """The sharded multi-node serving frontend."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        max_batch: int = 8,
+        max_delay_us: float = 2_000.0,
+        kernels: Tuple[str, ...] = ("matmul",),
+        service_model=None,
+        images: Optional[ImageRegistry] = None,
+        steal_threshold: int = 64,
+        migration: bool = True,
+        attest: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        if attest:
+            alive = [n for n in cluster if n.alive]
+            if not all(n.attested for n in alive):
+                cluster.attest_mesh()
+        members = cluster.attested_nodes() if attest else [n for n in cluster if n.alive]
+        if not members:
+            raise ClusterError("no attested alive nodes to serve on")
+        self.images = images if images is not None else ImageRegistry()
+        if images is None:
+            for kind in kernels:
+                self.images.register(f"kernel:{kind}", [n.name for n in members])
+        self.router = ClusterRouter(self.images, steal_threshold=steal_threshold)
+        self.migration: Optional[MigrationManager] = (
+            MigrationManager() if migration else None
+        )
+        self._states: Dict[str, _NodeState] = {}
+        for node in members:
+            serving = ServingSystem(
+                node.system,
+                max_batch=max_batch,
+                max_delay_us=max_delay_us,
+                kernels=kernels,
+                service_model=service_model,
+            )
+            self._states[node.name] = _NodeState(node, serving)
+        self._now = 0.0
+        self._routing_digest = hashlib.sha256()
+        self.unroutable = 0
+        self.node_kills: List[Tuple[float, str]] = []
+        self.migrated_requests = 0
+        self.orphaned = 0
+        self._pending_migrations: List[Tuple[float, int, str, Request]] = []
+        self._migration_seq = 0
+
+    # -- membership --------------------------------------------------------
+    def _alive(self) -> List[_NodeState]:
+        """Alive node states, cluster iteration order (deterministic)."""
+        return [
+            self._states[n.name]
+            for n in self.cluster
+            if n.name in self._states and self._states[n.name].alive
+        ]
+
+    def node_state(self, name: str) -> _NodeState:
+        return self._states[name]
+
+    # -- tenants -----------------------------------------------------------
+    def add_tenants(self, specs: Iterable[TenantSpec]) -> None:
+        """Register every spec on every node (per-node admission state)."""
+        for spec in specs:
+            for ns in self._alive():
+                ns.serving.add_tenant(spec)
+
+    # -- routing -----------------------------------------------------------
+    def _backlog(self, ns: _NodeState) -> int:
+        sv = ns.serving
+        total = len(sv._parked)
+        for device in ns.gpu_devices:
+            total += sv._effective_depth(device)
+        return total
+
+    def _candidates(self, image: str) -> List[str]:
+        return [
+            name for name in self.images.nodes_for(image)
+            if name in self._states and self._states[name].alive
+        ]
+
+    def route(self, request: Request) -> Optional[str]:
+        """The node this request lands on, or None if unroutable."""
+        candidates = self._candidates(request_image(request))
+        if not candidates:
+            return None
+        backlog = {name: self._backlog(self._states[name]) for name in sorted(candidates)}
+        return self.router.route(request.tenant, candidates, backlog)
+
+    def offer(self, request: Request) -> Optional[str]:
+        """Route + offer one request at its arrival instant; returns the
+        serving node's name (None = no image replica alive)."""
+        target = self.route(request)
+        if target is None:
+            self.unroutable += 1
+            self._routing_digest.update(f"{request.rid}>!\n".encode())
+            return None
+        ns = self._states[target]
+        if self.migration is not None:
+            self.migration.ensure_session(ns.node, request.tenant)
+        ns.routed += 1
+        self._routing_digest.update(f"{request.rid}>{target}\n".encode())
+        ns.serving.offer(request)
+        return target
+
+    # -- node-crash failover -----------------------------------------------
+    def migration_delay_us(self, blob_bytes: int) -> float:
+        """Simulated cost of moving one sealed checkpoint between nodes:
+        a network round trip plus the blob's transfer over the untrusted
+        network plus seal/unseal at both ends (see ``docs/costmodel.md``)."""
+        costs = self.cluster.costs
+        transfer = costs.copy_cost_us(blob_bytes, per_kib=costs.network_us_per_kib)
+        cipher = 2.0 * costs.copy_cost_us(blob_bytes, per_kib=costs.encryption_us_per_kib)
+        return costs.network_rtt_us + transfer + cipher
+
+    def kill_node(self, name: str) -> List[Request]:
+        """A whole machine dies at the current instant.
+
+        Harvests every admitted-but-unfinished request, scrubs + audits
+        the corpse, checkpoint-restores in-flight tenants' sessions onto
+        surviving nodes and schedules the harvested requests for delivery
+        there after the migration transfer delay.  Returns the harvested
+        requests (primarily for tests)."""
+        ns = self._states.get(name)
+        if ns is None or not ns.alive:
+            return []
+        sv = ns.serving
+        unfinished: List[Request] = []
+        for device in sorted(sv.batcher.depths()):
+            unfinished.extend(sv.batcher.evict(device))
+        unfinished.extend(sv._parked)
+        sv._parked = []
+        unfinished.sort(key=_ARRIVAL_ORDER)
+        # The machine analog of the partition panic: every partition
+        # fails, and the SPM scrub runs on the way down.
+        for device in ns.gpu_devices:
+            if device in sv._down_until:
+                continue  # already mid-recovery; its pages are scrubbed
+            ns.node.system.fail_partition(device, background=True)
+        if self.migration is not None:
+            self.migration.audit_scrub(ns.node)
+        ns.alive = False
+        ns.node.fail()
+        self.images.drop_node(name)
+        self.node_kills.append((self._now, name))
+        survivors = self._alive()
+        if not survivors:
+            self.orphaned += len(unfinished)
+            return unfinished
+        survivor_names = [s.name for s in survivors]
+        by_tenant: Dict[str, List[Request]] = {}
+        for request in unfinished:
+            by_tenant.setdefault(request.tenant, []).append(request)
+        for tenant in sorted(by_tenant):
+            target_name = self.router.home(tenant, survivor_names)
+            delay = self.cluster.costs.network_rtt_us
+            if self.migration is not None:
+                session = self.migration.session(tenant)
+                if session is not None and session.node == name:
+                    # The tenant's enclave state was on the corpse:
+                    # checkpoint-restore onto the rendezvous survivor.
+                    record = self.migration.restore(
+                        self._states[target_name].node, tenant, self._now
+                    )
+                    delay = self.migration_delay_us(
+                        self.migration.blob_bytes(tenant)
+                    )
+                    del record
+            for request in by_tenant[tenant]:
+                self._migration_seq += 1
+                heapq.heappush(
+                    self._pending_migrations,
+                    (self._now + delay, self._migration_seq, target_name, request),
+                )
+        if self.migration is not None:
+            # Sessions of idle tenants died with the node; a later arrival
+            # re-creates them (their sealed checkpoints remain in the store).
+            for session in self.migration.sessions_on(name):
+                self.migration.drop_session(session.tenant)
+        return unfinished
+
+    def _inject(self, ns: _NodeState, request: Request) -> None:
+        """Adopt a migrated request on its new node: admitted state moves
+        with it (no re-charge of the rate limiter), then it places or —
+        if the deadline passed in transit — expires, exactly once."""
+        sv = ns.serving
+        sv._admitted.add(request.rid)
+        tenant = sv.registry.get(request.tenant)
+        tenant.in_flight += 1
+        tenant.in_flight_bytes += request.memory_bytes
+        sv.slo.record_requeued(request)
+        self.migrated_requests += 1
+        if request.deadline_us < sv._now:
+            sv._expire(request)
+        else:
+            sv._place(request)
+
+    def _deliver_migrations(self) -> None:
+        heap = self._pending_migrations
+        while heap and heap[0][0] <= self._now:
+            _, _, target_name, request = heapq.heappop(heap)
+            ns = self._states.get(target_name)
+            if ns is None or not ns.alive:
+                # The restore target died in transit: re-route among the
+                # remaining survivors (no further delay — the blob is
+                # already off the first corpse).
+                survivors = self._alive()
+                if not survivors:
+                    self.orphaned += 1
+                    continue
+                ns = self._states[
+                    self.router.home(request.tenant, [s.name for s in survivors])
+                ]
+            self._inject(ns, request)
+
+    # -- the cluster event loop --------------------------------------------
+    def _next_event_time(
+        self,
+        pending: Sequence[Request],
+        ai: int,
+        kills: Sequence[Tuple[float, str]],
+        ki: int,
+        crashes: Sequence[Tuple[float, str, str]],
+        ci: int,
+    ) -> Optional[float]:
+        t: Optional[float] = None
+        if ai < len(pending):
+            t = pending[ai].arrival_us
+        if ki < len(kills) and (t is None or kills[ki][0] < t):
+            t = kills[ki][0]
+        if ci < len(crashes) and (t is None or crashes[ci][0] < t):
+            t = crashes[ci][0]
+        if self._pending_migrations:
+            due = self._pending_migrations[0][0]
+            if t is None or due < t:
+                t = due
+        for ns in self._alive():
+            node_t = ns.serving._next_event_time((), 0, (), 0)
+            if node_t is not None and (t is None or node_t < t):
+                t = node_t
+        return t
+
+    def run(
+        self,
+        arrivals: Iterable[Request],
+        *,
+        node_kill_events: Sequence[Tuple[float, str]] = (),
+        crash_events: Sequence[Tuple[float, str, str]] = (),
+    ) -> ClusterReport:
+        """Serve an open-loop arrival stream across the cluster.
+
+        ``node_kill_events`` is a list of ``(time_us, node)`` machine
+        deaths; ``crash_events`` a list of ``(time_us, node, device)``
+        single-partition crashes (the figure-9 scenario on a named node).
+        """
+        pending = sorted(arrivals, key=_ARRIVAL_ORDER)
+        kills = sorted(node_kill_events)
+        crashes = sorted(crash_events)
+        ai = ki = ci = 0
+        n_pending, n_kills, n_crashes = len(pending), len(kills), len(crashes)
+        while True:
+            now = self._next_event_time(pending, ai, kills, ki, crashes, ci)
+            if now is None:
+                break
+            if now > self._now:
+                self._now = now
+            for ns in self._alive():
+                sv = ns.serving
+                if self._now > sv._now:
+                    sv._now = self._now
+                sv._process_recoveries()
+            self._deliver_migrations()
+            while ai < n_pending and pending[ai].arrival_us <= self._now:
+                self.offer(pending[ai])
+                ai += 1
+            while ki < n_kills and kills[ki][0] <= self._now:
+                self.kill_node(kills[ki][1])
+                ki += 1
+            while ci < n_crashes and crashes[ci][0] <= self._now:
+                _, node, device = crashes[ci]
+                ns = self._states.get(node)
+                if ns is not None and ns.alive:
+                    ns.serving.crash_partition(device)
+                ci += 1
+            for ns in self._alive():
+                sv = ns.serving
+                for device in sv.batcher.due_partitions(sv._now):
+                    sv._flush(device)
+        # Stream over: anything still parked on an alive node can never
+        # run (same backstop as the single-node loop).
+        for ns in self._alive():
+            sv = ns.serving
+            for request in sv._parked:
+                sv._expire(request)
+            sv._parked.clear()
+        return self.report()
+
+    # -- reporting ---------------------------------------------------------
+    def _merged_slo(self) -> SLOTracker:
+        merged = SLOTracker()
+        for ns in (self._states[n.name] for n in self.cluster if n.name in self._states):
+            for tenant, acct in sorted(ns.serving.slo.accounts().items()):
+                into = merged.account(tenant)
+                into.offered += acct.offered
+                into.admitted += acct.admitted
+                into.completed += acct.completed
+                into.deadline_met += acct.deadline_met
+                into.expired += acct.expired
+                into.requeued += acct.requeued
+                into.duplicates_avoided += acct.duplicates_avoided
+                for reason, count in acct.rejected.items():
+                    into.rejected[reason] = into.rejected.get(reason, 0) + count
+                into.latencies.extend(acct.latencies)
+                if acct.first_arrival_us is not None and (
+                    into.first_arrival_us is None
+                    or acct.first_arrival_us < into.first_arrival_us
+                ):
+                    into.first_arrival_us = acct.first_arrival_us
+                into.last_deadline_us = max(into.last_deadline_us, acct.last_deadline_us)
+        return merged
+
+    def report(self) -> ClusterReport:
+        node_names = tuple(
+            n.name for n in self.cluster if n.name in self._states
+        )
+        per_node = {name: self._states[name].serving.report() for name in node_names}
+        merged = self._merged_slo()
+        slo_text = merged.table()
+        completed_total = deadline_met_total = expired_total = rejected_total = 0
+        for acct in merged.accounts().values():
+            completed_total += acct.completed
+            deadline_met_total += acct.deadline_met
+            expired_total += acct.expired
+            rejected_total += acct.rejected_total
+        migration = self.migration
+        lines = [
+            f"nodes={','.join(node_names)}",
+            f"slo={hashlib.sha256(slo_text.encode()).hexdigest()}",
+            f"routing={self._routing_digest.hexdigest()}",
+            f"steals={self.router.steals} unroutable={self.unroutable}",
+        ]
+        lines += [
+            f"node {name} {per_node[name].fingerprint} "
+            f"completed={len(per_node[name].completed)}"
+            for name in node_names
+        ]
+        lines += [f"{t:.3f} kill {name}" for t, name in self.node_kills]
+        if migration is not None:
+            lines += [record.line() for record in migration.records]
+        fingerprint = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+        return ClusterReport(
+            node_names=node_names,
+            slo_text=slo_text,
+            fingerprint=fingerprint,
+            makespan_us=max(
+                [self._now]
+                + [per_node[name].makespan_us for name in node_names]
+            ),
+            per_node=per_node,
+            routed={name: self._states[name].routed for name in node_names},
+            steals=self.router.steals,
+            unroutable=self.unroutable,
+            node_kills=tuple(self.node_kills),
+            migrations=tuple(migration.records) if migration is not None else (),
+            migrated_requests=self.migrated_requests,
+            orphaned=self.orphaned,
+            scrub_pages_audited=migration.scrub_pages_audited if migration else 0,
+            scrub_violations=migration.scrub_violations if migration else 0,
+            restore_mismatches=migration.restore_mismatches if migration else 0,
+            completed_total=completed_total,
+            deadline_met_total=deadline_met_total,
+            expired_total=expired_total,
+            rejected_total=rejected_total,
+            restart_counters=self.cluster.restart_counters(),
+        )

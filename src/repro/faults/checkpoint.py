@@ -63,13 +63,28 @@ class CheckpointStore:
 
 
 class CheckpointManager:
-    """Owner-side checkpoint logic for one application."""
+    """Owner-side checkpoint logic for one application.
 
-    def __init__(self, owner_secret: bytes, store: CheckpointStore, platform) -> None:
+    ``versions`` may be a shared dict: the monotonic rollback counter
+    belongs to the *owner*, not to any one machine, so a cluster keeps one
+    logical counter map that every per-node manager (same owner secret,
+    different platform clock) reads and writes.  A node that restores a
+    tenant after another node died then still detects a store replaying a
+    pre-migration blob.
+    """
+
+    def __init__(
+        self,
+        owner_secret: bytes,
+        store: CheckpointStore,
+        platform,
+        *,
+        versions: Optional[Dict[str, int]] = None,
+    ) -> None:
         self._secret = owner_secret
         self._store = store
         self._platform = platform
-        self._versions: Dict[str, int] = {}
+        self._versions: Dict[str, int] = versions if versions is not None else {}
 
     # -- generic payloads ------------------------------------------------
     def save(self, name: str, payload: Dict[str, np.ndarray]) -> int:

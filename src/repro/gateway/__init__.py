@@ -1,0 +1,33 @@
+"""The serverless function gateway.
+
+The production entry point the ROADMAP's cluster item names: Rodinia,
+DNN, TVM/NPU and LLM workloads registered as **named functions** behind
+launchers (:mod:`repro.gateway.registry`), composable into **DAG
+workflows** whose stages pin device classes and therefore span GPU and
+NPU mEnclaves on different cluster nodes (:mod:`repro.gateway.workflow`),
+invoked through one :class:`~repro.gateway.gateway.Gateway` with in-band
+trace context across every hop.
+"""
+
+from repro.gateway.gateway import Gateway
+from repro.gateway.registry import (
+    FunctionContext,
+    FunctionRegistry,
+    FunctionSpec,
+    GatewayError,
+    default_registry,
+)
+from repro.gateway.workflow import Invocation, Stage, Workflow, WorkflowResult
+
+__all__ = [
+    "FunctionContext",
+    "FunctionRegistry",
+    "FunctionSpec",
+    "Gateway",
+    "GatewayError",
+    "Invocation",
+    "Stage",
+    "Workflow",
+    "WorkflowResult",
+    "default_registry",
+]

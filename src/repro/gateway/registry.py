@@ -1,0 +1,219 @@
+"""The function registry: workloads as named, launchable functions.
+
+SHARP-style serverless packaging for the CRONUS workload zoo: a
+:class:`FunctionSpec` names a workload, the **launcher** that runs it
+against a node's enclave stack, the device class its enclave image needs
+(GPU vs NPU — the property DAG stages pin on), and the image id the
+cluster's :class:`~repro.cluster.images.ImageRegistry` replicates.
+
+Launchers receive a :class:`FunctionContext` bound to the routed node and
+return a plain result dict.  Every runtime a launcher creates through the
+context is released when the invocation ends, so function executions
+never leak enclaves.  A launcher may set the reserved ``_service_us`` key
+to report a virtual-time duration of its own (the LLM engine's makespan);
+otherwise the gateway meters the node's platform-clock delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+
+class GatewayError(Exception):
+    """Unknown function, bad workflow, or no routable node."""
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """One registered function."""
+
+    name: str
+    launcher: Callable
+    device_class: str = "gpu"
+    image_id: str = ""
+    payload_bytes: int = 4_096
+    """Result size used to cost cross-node transfers between DAG stages."""
+    description: str = ""
+
+
+class FunctionContext:
+    """What a launcher sees: the routed node's system, with runtime
+    bookkeeping so the gateway can release everything afterwards."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        self.system = node.system
+        self._runtimes: List[object] = []
+
+    def runtime(self, **kwargs):
+        rt = self.system.runtime(**kwargs)
+        self._runtimes.append(rt)
+        return rt
+
+    def close(self) -> None:
+        for rt in reversed(self._runtimes):
+            try:
+                self.system.release(rt)
+            except Exception:
+                pass  # a crashed launcher already tore the enclaves down
+        self._runtimes.clear()
+
+
+class FunctionRegistry:
+    """name -> :class:`FunctionSpec`."""
+
+    def __init__(self) -> None:
+        self._fns: Dict[str, FunctionSpec] = {}
+
+    def register_fn(
+        self,
+        name: str,
+        launcher: Callable,
+        *,
+        device_class: str = "gpu",
+        image_id: Optional[str] = None,
+        payload_bytes: int = 4_096,
+        description: str = "",
+    ) -> FunctionSpec:
+        spec = FunctionSpec(
+            name=name,
+            launcher=launcher,
+            device_class=device_class,
+            image_id=image_id if image_id is not None else f"fn:{name}",
+            payload_bytes=payload_bytes,
+            description=description,
+        )
+        self._fns[name] = spec
+        return spec
+
+    def get(self, name: str) -> FunctionSpec:
+        try:
+            return self._fns[name]
+        except KeyError:
+            raise GatewayError(
+                f"no function named {name!r}; registered: {self.names()}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._fns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._fns
+
+    def specs(self) -> List[FunctionSpec]:
+        return [self._fns[name] for name in self.names()]
+
+
+# -- the default function set ----------------------------------------------
+
+def _fn_matmul(ctx: FunctionContext, *, size: int = 16, seed: int = 7) -> Dict[str, object]:
+    rt = ctx.runtime(cuda_kernels=("matmul",), owner="gw-matmul")
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((size, size)).astype(np.float32)
+    ha = rt.cudaMalloc(a.shape)
+    hc = rt.cudaMalloc(a.shape)
+    rt.cudaMemcpyH2D(ha, a)
+    rt.cudaLaunchKernel("matmul", [ha, ha, hc])
+    out = rt.cudaMemcpyD2H(hc)
+    rt.cudaFree(hc)
+    rt.cudaFree(ha)
+    return {"size": size, "correct": bool(np.allclose(out, a @ a, atol=1e-2))}
+
+
+def _rodinia_launcher(bench: str) -> Callable:
+    def launcher(ctx: FunctionContext) -> Dict[str, object]:
+        from repro.workloads.rodinia import RODINIA, all_kernels
+
+        rt = ctx.runtime(cuda_kernels=all_kernels(), owner=f"gw-{bench}")
+        RODINIA[bench].run(rt)
+        return {"bench": bench}
+
+    return launcher
+
+
+def _fn_dnn_train(
+    ctx: FunctionContext, *, epochs: int = 1, batch_size: int = 16, samples: int = 32
+) -> Dict[str, object]:
+    from repro.workloads.datasets import synthetic_mnist
+    from repro.workloads.dnn import TRAINING_KERNELS, lenet, train
+
+    rt = ctx.runtime(cuda_kernels=TRAINING_KERNELS, owner="gw-dnn")
+    model = lenet()
+    train(rt, model, synthetic_mnist(samples), epochs=epochs, batch_size=batch_size)
+    model.free(rt)
+    return {"epochs": epochs, "samples": samples}
+
+
+def _fn_tvm_infer(ctx: FunctionContext, *, seed: int = 42) -> Dict[str, object]:
+    from repro.workloads.tvm import compile_graph, conv_lenet_graph, reference
+
+    graph = conv_lenet_graph()
+    module = compile_graph(graph)
+    rt = ctx.runtime(npu_programs=module.programs, owner="gw-tvm")
+    module.deploy(rt)
+    x = (
+        np.random.default_rng(seed)
+        .integers(-8, 8, (1,) + graph.input_shape)
+        .astype(np.int8)
+    )
+    out = module.run(rt, x)
+    return {
+        "model": "conv_lenet",
+        "correct": bool(np.array_equal(out, reference(module, x))),
+    }
+
+
+def _fn_llm_generate(
+    ctx: FunctionContext, *, sequences: int = 4, seed: int = 11, max_running: int = 4
+) -> Dict[str, object]:
+    """The continuous-batching LLM engine as a named function (the
+    ROADMAP's "LLM through a SHARP-style gateway" follow-on)."""
+    from repro.serve.llm import LLMEngine, llm_arrivals
+    from repro.serve.tenants import TenantSpec
+
+    engine = LLMEngine(ctx.system, max_running=max_running)
+    tenant = engine.add_tenant(
+        TenantSpec("gw-llm", rate_limit_rps=500.0, deadline_us=5_000_000.0)
+    )
+    report = engine.run(
+        llm_arrivals(tenant, engine.config, count=sequences, seed=seed)
+    )
+    return {
+        "sequences": sequences,
+        "finished": report.sequences_finished,
+        "tokens": report.total_tokens,
+        "tokens_per_s": report.tokens_per_s,
+        "audit_violations": len(report.audit()),
+        "scrub_violations": report.scrub_violations,
+        "_service_us": report.makespan_us,
+    }
+
+
+def default_registry() -> FunctionRegistry:
+    """Every shipped workload as a named function."""
+    registry = FunctionRegistry()
+    registry.register_fn(
+        "matmul", _fn_matmul, payload_bytes=16 * 16 * 4,
+        description="verified square matmul on a GPU mEnclave",
+    )
+    for bench in ("gaussian", "hotspot", "pathfinder"):
+        registry.register_fn(
+            f"rodinia.{bench}", _rodinia_launcher(bench),
+            description=f"Rodinia {bench} (figure 7 workload)",
+        )
+    registry.register_fn(
+        "dnn.train", _fn_dnn_train, payload_bytes=64 << 10,
+        description="LeNet training epochs on a GPU mEnclave (figure 8)",
+    )
+    registry.register_fn(
+        "tvm.infer", _fn_tvm_infer, device_class="npu", payload_bytes=8 << 10,
+        description="TVM/VTA quantized inference on an NPU mEnclave (figure 10)",
+    )
+    registry.register_fn(
+        "llm.generate", _fn_llm_generate, payload_bytes=32 << 10,
+        description="continuous-batching LLM generation (PR 8 engine)",
+    )
+    return registry

@@ -1,0 +1,133 @@
+"""DAG workflows over registered functions.
+
+A :class:`Workflow` is a named DAG of :class:`Stage`\\ s; each stage
+invokes one registered function and lists the stages it depends on.
+Because a stage's function carries a device class (GPU vs NPU) and an
+image id with its own replica set, stages of one workflow naturally land
+on **different nodes** — the gateway inserts a costed cross-node transfer
+between dependent stages whenever the producer and consumer nodes differ,
+and threads trace context through every hop so the whole DAG renders as
+one Perfetto trace.
+
+Validation happens at construction: unique stage names, known
+dependencies, and acyclicity (the topological order is computed once and
+reused by the executor — deterministic: ready stages run in declaration
+order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.gateway.registry import GatewayError
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of the DAG: run ``fn`` after ``after`` completed."""
+
+    name: str
+    fn: str
+    args: Optional[Mapping[str, object]] = None
+    after: Tuple[str, ...] = ()
+    payload_bytes: Optional[int] = None
+    """Override of the function's result size for transfer costing."""
+
+
+class Workflow:
+    """A validated DAG of stages."""
+
+    def __init__(self, name: str, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise GatewayError(f"workflow {name!r} has no stages")
+        self.name = name
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+        by_name: Dict[str, Stage] = {}
+        for stage in self.stages:
+            if stage.name in by_name:
+                raise GatewayError(
+                    f"workflow {name!r}: duplicate stage {stage.name!r}"
+                )
+            by_name[stage.name] = stage
+        for stage in self.stages:
+            for dep in stage.after:
+                if dep not in by_name:
+                    raise GatewayError(
+                        f"workflow {name!r}: stage {stage.name!r} depends on "
+                        f"unknown stage {dep!r}"
+                    )
+                if dep == stage.name:
+                    raise GatewayError(
+                        f"workflow {name!r}: stage {stage.name!r} depends on itself"
+                    )
+        self.by_name = by_name
+        self.order: Tuple[Stage, ...] = self._topo_order()
+
+    def _topo_order(self) -> Tuple[Stage, ...]:
+        """Kahn's algorithm, declaration order among ready stages."""
+        remaining = {s.name: set(s.after) for s in self.stages}
+        order: List[Stage] = []
+        done: set = set()
+        while remaining:
+            ready = [
+                s for s in self.stages
+                if s.name in remaining and not (remaining[s.name] - done)
+            ]
+            if not ready:
+                cyclic = sorted(remaining)
+                raise GatewayError(
+                    f"workflow {self.name!r} has a dependency cycle among {cyclic}"
+                )
+            for stage in ready:
+                order.append(stage)
+                done.add(stage.name)
+                del remaining[stage.name]
+        return tuple(order)
+
+
+@dataclass
+class Invocation:
+    """One completed function execution."""
+
+    fn: str
+    node: str
+    start_us: float
+    end_us: float
+    service_us: float
+    result: Dict[str, object]
+    context: Optional[object] = None
+    """The function span's :class:`~repro.obs.span.SpanContext` (None with
+    observability off) — the in-band parent downstream stages link to."""
+
+    @property
+    def latency_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of one :meth:`Gateway.invoke_workflow`."""
+
+    name: str
+    invocations: Dict[str, Invocation]
+    """stage name -> its invocation, every stage present."""
+    start_us: float
+    end_us: float
+    cross_node_transfers: int
+    transfer_us: float
+    trace_id: Optional[int] = None
+    root_context: Optional[object] = None
+
+    @property
+    def makespan_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """Distinct nodes the workflow's stages executed on, sorted."""
+        return tuple(sorted({inv.node for inv in self.invocations.values()}))
+
+    @property
+    def nodes_spanned(self) -> int:
+        return len(self.nodes)

@@ -40,6 +40,44 @@ class TestClusterMesh:
             Cluster(num_nodes=0)
 
 
+class TestClusterMembership:
+    def test_iteration_is_creation_order(self):
+        cluster = Cluster(num_nodes=4)
+        assert [n.name for n in cluster] == ["node0", "node1", "node2", "node3"]
+        assert len(cluster) == 4
+
+    def test_iteration_order_survives_node_death(self):
+        """The router's same-instant event processing depends on a stable
+        order; a dead node keeps its slot."""
+        cluster = Cluster(num_nodes=3)
+        cluster.fail_node("node1")
+        assert [n.name for n in cluster] == ["node0", "node1", "node2"]
+
+    def test_node_for_lookup(self):
+        cluster = Cluster(num_nodes=2)
+        assert cluster.node_for("node1") is cluster.nodes[1]
+        assert cluster.node_for("node9") is None
+
+    def test_gpu_devices_sorted(self):
+        node = Cluster(num_nodes=1, gpus_per_node=3).nodes[0]
+        assert node.gpu_devices() == ["gpu0", "gpu1", "gpu2"]
+
+    def test_restart_counters_track_partition_recoveries(self):
+        cluster = Cluster(num_nodes=2, gpus_per_node=2)
+        assert cluster.restart_counters() == {"node0": 0, "node1": 0}
+        node = cluster.node("node0")
+        node.system.fail_partition("gpu1")
+        assert node.partition_restarts()["part-gpu1"] == 1
+        assert node.restarts() == 1
+        assert cluster.restart_counters() == {"node0": 1, "node1": 0}
+
+    def test_restart_counters_include_dead_nodes(self):
+        cluster = Cluster(num_nodes=2)
+        cluster.node("node1").system.fail_partition("gpu0")
+        cluster.fail_node("node1")
+        assert cluster.restart_counters()["node1"] == 1
+
+
 class TestAllreduceCost:
     def test_single_node_free(self):
         assert Cluster(num_nodes=1).allreduce_time_us(1 << 20, 1) == 0.0

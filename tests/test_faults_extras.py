@@ -123,6 +123,88 @@ class TestCheckpoints:
         cronus.release(rt2)
 
 
+class TestCrossPartitionRestore:
+    """The cluster-migration story at single-machine scale: a checkpoint
+    taken while state lived on one partition restores onto a *different*
+    partition after the source dies — and the source's pages are provably
+    scrubbed on the way down."""
+
+    SECRET = b"owner-secret-32b-owner-secret-32"
+
+    def test_restore_onto_different_partition_roundtrip(self, cronus2gpu):
+        from repro.hw.memory import PAGE_SIZE
+
+        system = cronus2gpu
+        store = CheckpointStore()
+        versions = {}
+        source_mgr = CheckpointManager(
+            self.SECRET, store, system.platform, versions=versions
+        )
+
+        # Enclave-resident session state on gpu0's partition: every byte
+        # non-zero, so the scrub audit below is a real check.
+        state = ((np.arange(256, dtype=np.uint8) % 255) + 1).astype(np.uint8)
+        part0 = system.spm.partition_for_device("gpu0")
+        pages = system.spm.allocate_pages(part0, 1)
+        part0.write(pages[0] * PAGE_SIZE, state.tobytes())
+        v1 = source_mgr.save("session", {"state": state})
+        restarts_before = part0.restarts
+
+        system.fail_partition("gpu0")
+
+        # Source pages byte-audit as scrubbed and the mEnclave generation
+        # (the partition restart counter) is incremented.
+        assert not any(bytes(system.platform.memory.page_view(pages[0])))
+        assert part0.restarts == restarts_before + 1
+
+        # A second manager — different node in the cluster picture, same
+        # shared owner counter map — restores onto gpu1's partition.
+        target_mgr = CheckpointManager(
+            self.SECRET, store, system.platform, versions=versions
+        )
+        payload = target_mgr.load("session")
+        assert np.array_equal(payload["state"], state)
+        part1 = system.spm.partition_for_device("gpu1")
+        pages1 = system.spm.allocate_pages(part1, 1)
+        part1.write(pages1[0] * PAGE_SIZE, payload["state"].tobytes())
+        assert (
+            bytes(system.platform.memory.page_view(pages1[0]))[:256]
+            == state.tobytes()
+        )
+        # Re-sealing at the new home keeps the monotonic counter moving.
+        assert target_mgr.save("session", payload) == v1 + 1
+
+    def test_shared_counter_detects_rollback_across_managers(self, cronus2gpu):
+        """The store replaying a pre-migration blob is caught by the
+        *target* manager because the owner counter travelled with it."""
+        system = cronus2gpu
+        store = CheckpointStore()
+        versions = {}
+        source_mgr = CheckpointManager(
+            self.SECRET, store, system.platform, versions=versions
+        )
+        source_mgr.save("session", {"w": np.zeros(4)})
+        source_mgr.save("session", {"w": np.ones(4)})
+        target_mgr = CheckpointManager(
+            self.SECRET, store, system.platform, versions=versions
+        )
+        store.rollback_to("session", 1)
+        with pytest.raises(RollbackError):
+            target_mgr.load("session")
+
+    def test_private_counters_miss_the_replay(self, cronus2gpu):
+        """Contrast case documenting why the map must be shared: a manager
+        with its own empty counter map accepts the rolled-back blob."""
+        system = cronus2gpu
+        store = CheckpointStore()
+        source_mgr = CheckpointManager(self.SECRET, store, system.platform)
+        source_mgr.save("session", {"w": np.zeros(4)})
+        source_mgr.save("session", {"w": np.ones(4)})
+        naive_mgr = CheckpointManager(self.SECRET, store, system.platform)
+        store.rollback_to("session", 1)
+        assert naive_mgr.load("session")["w"][0] == 0.0  # stale, undetected
+
+
 class TestGpuP2PSharing:
     def test_share_buffer_across_gpus(self, cronus2gpu):
         system = cronus2gpu
