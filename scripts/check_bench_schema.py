@@ -54,6 +54,23 @@ document's ``schema`` tag:
 * the gateway workflow spans >= 2 nodes with a validated Chrome trace
   and at least one cross-node causal span link.
 
+``cronus.bench_obs/v1`` (``benchmarks/bench_obs_pipeline.py``):
+
+* the envelope (schema tag, config, overhead, node_kill, noisy, replay,
+  sampler) with required keys and sane types;
+* the pipeline-over-instrumented overhead ratio honours its recorded
+  ceiling (and a full-mode ceiling must be <= the 1.10x acceptance
+  bar), with the cluster report fingerprints byte-identical across the
+  off / instrumented / pipeline runs (recording is inert);
+* the node-death page fired within one scrape interval of the kill and
+  carries a non-empty recovery Chrome trace that passed the trace
+  schema after alert annotation and was dumped to disk;
+* the noisy-neighbour rejection spike was detected inside the slow
+  window with zero false pages on the victim tenant;
+* the telemetry replay's store *and* alert fingerprints byte-equal the
+  first run's;
+* the tail sampler retained a non-empty subset of the considered traces.
+
 Usage: ``python scripts/check_bench_schema.py [BENCH_*.json]``
 Exit status 0 = the document honours its contract.
 """
@@ -612,11 +629,182 @@ def validate_cluster(doc) -> list:
     return failures
 
 
+OBS_SCHEMA = "cronus.bench_obs/v1"
+OBS_CONFIG_FIELDS = {
+    "nodes": int,
+    "gpus_per_node": int,
+    "max_batch": int,
+    "max_delay_us": (int, float),
+    "mean_rate_rps": (int, float),
+    "deadline_us": (int, float),
+    "scrape_interval_us": (int, float),
+    "requests": int,
+    "tenants": int,
+    "seed": int,
+    "service_model": str,
+}
+# The equality flags ("makespans_equal", "report_fingerprints_equal",
+# "within_one_interval", ...) are bools and get their own `is True`
+# checks (bools pass isinstance against int, which _check_fields
+# rejects by design).
+OBS_OVERHEAD_FIELDS = {
+    "off_wall_s": (int, float),
+    "instrumented_wall_s": (int, float),
+    "pipeline_wall_s": (int, float),
+    "repeats": int,
+    "ratio": (int, float),
+    "ceiling": (int, float),
+    "instrumentation_ratio": (int, float),
+    "makespan_us": (int, float),
+    "fingerprint": str,
+}
+OBS_NODE_KILL_FIELDS = {
+    "killed_node": str,
+    "kill_t_us": (int, float),
+    "alert_t_us": (int, float),
+    "detection_us": (int, float),
+    "scrape_interval_us": (int, float),
+    "severity": str,
+    "recovery_trace_events": int,
+    "trace_problems": list,
+    "dumped_traces": int,
+    "alerts_total": int,
+}
+OBS_NOISY_FIELDS = {
+    "trace_us": (int, float),
+    "ramp_start_us": (int, float),
+    "alert_t_us": (int, float),
+    "detection_us": (int, float),
+    "slow_window_us": (int, float),
+    "value": (int, float),
+    "threshold": (int, float),
+    "victim_false_pages": int,
+}
+OBS_REPLAY_FIELDS = {
+    "scrapes": int,
+    "series": int,
+    "alerts": int,
+    "fingerprint": str,
+}
+OBS_SAMPLER_FIELDS = {
+    "considered": int,
+    "retained": int,
+    "retained_bytes": int,
+    "byte_budget": int,
+    "budget_rejected": int,
+    "discarded_traces": int,
+    "discarded_spans": int,
+}
+
+
+def validate_obs(doc) -> list:
+    """All ``cronus.bench_obs/v1`` violations (empty list = valid)."""
+    failures = []
+    if not isinstance(doc, dict):
+        return [f"document root must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != OBS_SCHEMA:
+        failures.append(f"schema tag {doc.get('schema')!r} != {OBS_SCHEMA!r}")
+    if doc.get("mode") not in ("full", "smoke"):
+        failures.append(f"mode {doc.get('mode')!r} must be 'full' or 'smoke'")
+    _check_fields(doc.get("config"), OBS_CONFIG_FIELDS, "config", failures)
+
+    overhead = doc.get("overhead")
+    if _check_fields(overhead, OBS_OVERHEAD_FIELDS, "overhead", failures):
+        if not _is_fingerprint(overhead.get("fingerprint")):
+            failures.append("overhead: fingerprint is not 64 hex chars")
+        for key in ("off_wall_s", "instrumented_wall_s", "pipeline_wall_s",
+                    "ratio", "instrumentation_ratio", "makespan_us"):
+            value = overhead.get(key)
+            if isinstance(value, (int, float)) and value <= 0:
+                failures.append(f"overhead: {key} must be positive, got {value}")
+        ratio = overhead.get("ratio")
+        ceiling = overhead.get("ceiling")
+        if isinstance(ratio, (int, float)) and isinstance(ceiling, (int, float)):
+            if ratio > ceiling:
+                failures.append(
+                    f"overhead ratio {ratio}x exceeds the recorded "
+                    f"{ceiling}x ceiling"
+                )
+        if doc.get("mode") == "full" and isinstance(ceiling, (int, float)):
+            if ceiling > 1.10:
+                failures.append(
+                    f"full-mode overhead ceiling must be <= 1.10, got {ceiling}"
+                )
+        for key in ("report_fingerprints_equal", "makespans_equal"):
+            if overhead.get(key) is not True:
+                failures.append(f"overhead: {key} is not true (recording perturbed the run)")
+
+    node_kill = doc.get("node_kill")
+    if _check_fields(node_kill, OBS_NODE_KILL_FIELDS, "node_kill", failures):
+        if node_kill.get("within_one_interval") is not True:
+            failures.append("node_kill: page fired later than one scrape interval")
+        if node_kill.get("schema_ok") is not True:
+            failures.append("node_kill: schema_ok is not true")
+        if node_kill.get("trace_problems"):
+            failures.append(
+                f"node_kill: trace has problems {node_kill['trace_problems'][:3]}"
+            )
+        detection = node_kill.get("detection_us")
+        if isinstance(detection, (int, float)) and detection < 0:
+            failures.append(f"node_kill: detection_us negative ({detection})")
+        for key in ("recovery_trace_events", "dumped_traces", "alerts_total"):
+            value = node_kill.get(key)
+            if isinstance(value, int) and value < 1:
+                failures.append(f"node_kill: {key} must be >= 1, got {value}")
+
+    noisy = doc.get("noisy")
+    if _check_fields(noisy, OBS_NOISY_FIELDS, "noisy", failures):
+        if noisy.get("within_slow_window") is not True:
+            failures.append("noisy: rejection spike missed the slow window")
+        if noisy.get("victim_false_pages"):
+            failures.append(
+                f"noisy: {noisy['victim_false_pages']} false pages on the victim"
+            )
+        detection = noisy.get("detection_us")
+        if isinstance(detection, (int, float)) and detection < 0:
+            failures.append("noisy: ramp was never detected")
+        value = noisy.get("value")
+        threshold = noisy.get("threshold")
+        if isinstance(value, (int, float)) and isinstance(threshold, (int, float)):
+            if value <= threshold:
+                failures.append(
+                    f"noisy: fired value {value} does not breach threshold "
+                    f"{threshold}"
+                )
+
+    replay = doc.get("replay")
+    if _check_fields(replay, OBS_REPLAY_FIELDS, "replay", failures):
+        for key in ("store_fingerprints_equal", "alert_fingerprints_equal"):
+            if replay.get(key) is not True:
+                failures.append(f"replay: {key} is not true")
+        if not _is_fingerprint(replay.get("fingerprint")):
+            failures.append("replay: fingerprint is not 64 hex chars")
+        for key in ("scrapes", "series", "alerts"):
+            value = replay.get(key)
+            if isinstance(value, int) and value < 1:
+                failures.append(f"replay: {key} must be >= 1, got {value}")
+
+    sampler = doc.get("sampler")
+    if _check_fields(sampler, OBS_SAMPLER_FIELDS, "sampler", failures):
+        retained = sampler.get("retained")
+        considered = sampler.get("considered")
+        if isinstance(retained, int) and isinstance(considered, int):
+            if considered < 1:
+                failures.append("sampler: considered no traces")
+            elif not 0 < retained <= considered:
+                failures.append(
+                    f"sampler: retained {retained} of {considered} "
+                    "(tail sampling kept nothing or over-counted)"
+                )
+    return failures
+
+
 VALIDATORS = {
     SCHEMA: validate,
     AUTOSCALE_SCHEMA: validate_autoscale,
     LLM_SCHEMA: validate_llm,
     CLUSTER_SCHEMA: validate_cluster,
+    OBS_SCHEMA: validate_obs,
 }
 
 
@@ -637,6 +825,19 @@ def main(argv) -> int:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
 
+    if tag == OBS_SCHEMA:
+        overhead = doc["overhead"]
+        node_kill = doc["node_kill"]
+        sampler = doc["sampler"]
+        print(
+            f"bench schema ok: pipeline overhead {overhead['ratio']}x "
+            f"(ceiling {overhead['ceiling']}x), node-death page in "
+            f"{node_kill['detection_us'] / 1e3:.1f}ms with "
+            f"{node_kill['recovery_trace_events']} recovery events, "
+            f"{sampler['retained']}/{sampler['considered']} traces retained, "
+            f"replay byte-identical"
+        )
+        return 0
     rows = doc["rows"]
     if tag == AUTOSCALE_SCHEMA:
         savings = doc["savings"]

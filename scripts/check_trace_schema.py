@@ -12,6 +12,11 @@ no dangling parents.  Also asserts the two determinism acceptance gates:
 * two same-seed runs produce identical metrics fingerprints and identical
   exported JSON.
 
+Finally, annotates the trace with a synthetic alert
+(:func:`repro.obs.annotate_chrome_trace` — the "recovery trace attached
+to alert" dump format) and re-validates: the instant event must pass the
+schema and round-trip through :func:`repro.obs.alert_annotations`.
+
 Usage: ``PYTHONPATH=src python scripts/check_trace_schema.py [out.json]``
 Exit status 0 = all gates pass.
 """
@@ -65,6 +70,28 @@ def main(argv) -> int:
             f"{reported} us"
         )
 
+    # Alert annotation: the dump format the alert engine writes must
+    # survive the same schema gate and round-trip its instant events.
+    from repro.obs import Alert, alert_annotations, annotate_chrome_trace
+
+    alert = Alert(
+        alert_id=1, t_us=200_000.0, rule="node-death", severity="page",
+        labels=(("node", "gpu0"),), value=1.0, threshold=1.0,
+        fast_window_us=0.0, slow_window_us=0.0,
+    )
+    annotated = annotate_chrome_trace(data, [alert])
+    for problem in validate_chrome_trace(annotated):
+        failures.append(f"annotated schema: {problem}")
+    annotations = alert_annotations(annotated)
+    if len(annotations) != 1:
+        failures.append(
+            f"expected 1 alert annotation after annotate, found {len(annotations)}"
+        )
+    elif annotations[0]["args"].get("rule") != "node-death":
+        failures.append("alert annotation lost its rule name")
+    if alert_annotations(data):
+        failures.append("annotate_chrome_trace mutated its input trace")
+
     # Same-seed determinism: a second run must be byte-identical.
     data2, _, _, fingerprint2 = _run(out_path + ".2")
     if fingerprint != fingerprint2:
@@ -82,7 +109,8 @@ def main(argv) -> int:
         return 1
     print(
         f"trace schema ok: {events} span events, breakdown sums to "
-        f"{reported:.3f} us, fingerprint {fingerprint[:16]}... stable"
+        f"{reported:.3f} us, alert annotation round-trips, "
+        f"fingerprint {fingerprint[:16]}... stable"
     )
     return 0
 

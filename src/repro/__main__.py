@@ -234,6 +234,50 @@ def _cmd_cluster(args) -> int:
     return 1 if audit else 0
 
 
+def _cmd_top(args) -> int:
+    """The cluster's live-ops view: run the sharded-cluster demo with the
+    telemetry pipeline attached and print per-node / per-tenant SLO
+    tables, fired alerts (with recovery traces) and tail-sampler stats."""
+    from repro.cluster import Cluster, ClusterServingSystem
+    from repro.obs import TelemetryPipeline
+    from repro.serve.loadgen import LoadProfile, generate_trace, synthetic_service_model
+
+    profile = LoadProfile(
+        tenants=6,
+        requests=args.requests,
+        mean_rate_rps=120_000.0,
+        deadline_us=80_000.0,
+    )
+    specs, requests = generate_trace(profile)
+    cluster = Cluster(num_nodes=2, gpus_per_node=1)
+    telemetry = TelemetryPipeline(scrape_interval_us=args.scrape_us)
+    serving = ClusterServingSystem(
+        cluster, service_model=synthetic_service_model(), telemetry=telemetry
+    )
+    serving.add_tenants(specs)
+    kill_at = 0.5 * profile.requests / profile.mean_rate_rps * 1e6
+    report = serving.run(requests, node_kill_events=[(kill_at, "node1")])
+
+    print(f"nodes ({len(report.node_names)}):")
+    print(telemetry.node_table())
+    print("\ntenants:")
+    print(telemetry.tenant_table())
+    print("\nalerts:")
+    print(telemetry.alert_table())
+    stats = telemetry.sampler_stats()
+    print(
+        f"\ntail sampler: {stats.get('retained', 0)}/{stats.get('considered', 0)} "
+        f"traces retained ({stats.get('retained_bytes', 0)} bytes, "
+        f"budget {stats.get('byte_budget', 0)}), "
+        f"{stats.get('discarded_spans', 0)} spans discarded"
+    )
+    if args.dump_traces is not None:
+        written = telemetry.alerts.dump_recovery_traces(args.dump_traces)
+        print(f"recovery traces dumped: {written if written else 'none'}")
+    print(f"telemetry fingerprint: {telemetry.fingerprint()}")
+    return 0
+
+
 _COMMANDS = {
     "attest": _cmd_attest,
     "attacks": _cmd_attacks,
@@ -244,6 +288,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "obs": _cmd_obs,
     "cluster": _cmd_cluster,
+    "top": _cmd_top,
 }
 
 
@@ -273,6 +318,19 @@ def main(argv=None) -> int:
             cmd.add_argument(
                 "--requests", type=int, default=3_000,
                 help="trace length of the demo (default: 3000)",
+            )
+        if name == "top":
+            cmd.add_argument(
+                "--requests", type=int, default=3_000,
+                help="trace length of the demo (default: 3000)",
+            )
+            cmd.add_argument(
+                "--scrape-us", type=float, default=5_000.0,
+                help="telemetry scrape interval in virtual us (default: 5000)",
+            )
+            cmd.add_argument(
+                "--dump-traces", default=None, metavar="DIR",
+                help="dump each crash alert's recovery trace JSON into DIR",
             )
     args = parser.parse_args(argv)
 

@@ -217,8 +217,11 @@ class ClusterServingSystem:
         steal_threshold: int = 64,
         migration: bool = True,
         attest: bool = True,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.cluster = cluster
+        self.telemetry = telemetry
+        self._next_scrape_us: Optional[float] = None
         if attest:
             alive = [n for n in cluster if n.alive]
             if not all(n.attested for n in alive):
@@ -243,7 +246,16 @@ class ClusterServingSystem:
                 kernels=kernels,
                 service_model=service_model,
             )
+            if telemetry is not None:
+                # Per-node attach: every scraped key carries node=<name>,
+                # and the node's completion paths feed its tail sampler.
+                source = telemetry.attach(
+                    node.system, slo=serving.slo, node=node.name
+                )
+                serving.bind_telemetry(source)
             self._states[node.name] = _NodeState(node, serving)
+        if telemetry is not None:
+            telemetry.add_extra(self._telemetry_extra)
         self._now = 0.0
         self._routing_digest = hashlib.sha256()
         self.unroutable = 0
@@ -271,6 +283,24 @@ class ClusterServingSystem:
         for spec in specs:
             for ns in self._alive():
                 ns.serving.add_tenant(spec)
+
+    # -- telemetry ---------------------------------------------------------
+    def _telemetry_extra(self) -> Dict[str, float]:
+        """Deployment-level cumulative counters (no single node owns
+        them) scraped alongside the per-node registries."""
+        migration = self.migration
+        return {
+            "cluster/scrub_violations": float(
+                migration.scrub_violations if migration is not None else 0
+            ),
+            "cluster/restore_mismatches": float(
+                migration.restore_mismatches if migration is not None else 0
+            ),
+            "cluster/migrated_requests": float(self.migrated_requests),
+            "cluster/orphaned": float(self.orphaned),
+            "cluster/steals": float(self.router.steals),
+            "cluster/unroutable": float(self.unroutable),
+        }
 
     # -- routing -----------------------------------------------------------
     def _backlog(self, ns: _NodeState) -> int:
@@ -350,9 +380,20 @@ class ClusterServingSystem:
         ns.node.fail()
         self.images.drop_node(name)
         self.node_kills.append((self._now, name))
+        obs = ns.node.system.platform.obs
+        if obs.enabled:
+            # One marker on the corpse's own recorder so the recovery
+            # trace attached to the node-death page is never empty, even
+            # when every partition was already mid-recovery.
+            obs.event(
+                "recovery.node-kill", ts=self._now, category="recovery",
+                node=name, harvested=len(unfinished),
+            )
         survivors = self._alive()
         if not survivors:
             self.orphaned += len(unfinished)
+            if self.telemetry is not None:
+                self.telemetry.node_killed(self._now, name)
             return unfinished
         survivor_names = [s.name for s in survivors]
         by_tenant: Dict[str, List[Request]] = {}
@@ -384,6 +425,10 @@ class ClusterServingSystem:
             # re-creates them (their sealed checkpoints remain in the store).
             for session in self.migration.sessions_on(name):
                 self.migration.drop_session(session.tenant)
+        if self.telemetry is not None:
+            # After the restores: the captured recovery trace then covers
+            # the corpse's scrub spans up to the migration hand-off.
+            self.telemetry.node_killed(self._now, name)
         return unfinished
 
     def _inject(self, ns: _NodeState, request: Request) -> None:
@@ -445,6 +490,10 @@ class ClusterServingSystem:
             node_t = ns.serving._next_event_time((), 0, (), 0)
             if node_t is not None and (t is None or node_t < t):
                 t = node_t
+        # Scrapes subdivide waits; they never extend the makespan.
+        scrape = self._next_scrape_us
+        if scrape is not None and t is not None and scrape < t:
+            t = scrape
         return t
 
     def run(
@@ -463,6 +512,8 @@ class ClusterServingSystem:
         pending = sorted(arrivals, key=_ARRIVAL_ORDER)
         kills = sorted(node_kill_events)
         crashes = sorted(crash_events)
+        if self.telemetry is not None:
+            self._next_scrape_us = self._now + self.telemetry.scrape_interval_us
         ai = ki = ci = 0
         n_pending, n_kills, n_crashes = len(pending), len(kills), len(crashes)
         while True:
@@ -493,6 +544,10 @@ class ClusterServingSystem:
                 sv = ns.serving
                 for device in sv.batcher.due_partitions(sv._now):
                     sv._flush(device)
+            if self.telemetry is not None and self._next_scrape_us is not None:
+                while self._next_scrape_us <= self._now:
+                    self.telemetry.scrape(self._next_scrape_us)
+                    self._next_scrape_us += self.telemetry.scrape_interval_us
         # Stream over: anything still parked on an alive node can never
         # run (same backstop as the single-node loop).
         for ns in self._alive():
@@ -500,9 +555,26 @@ class ClusterServingSystem:
             for request in sv._parked:
                 sv._expire(request)
             sv._parked.clear()
+        if self.telemetry is not None:
+            self.telemetry.scrape(self._now)
+            self._next_scrape_us = None
         return self.report()
 
     # -- reporting ---------------------------------------------------------
+    def cluster_metrics(self, into=None):
+        """Merge every node's instruments into one registry, each layer
+        prefixed ``node=<name>:`` so same-named per-node instruments
+        (``part-gpu0``, ``spm``, ``tracer`` …) never collide."""
+        from repro.obs import collect_system_metrics
+        from repro.obs.metric import MetricsRegistry
+
+        registry = into if into is not None else MetricsRegistry(enabled=True)
+        for name in (n.name for n in self.cluster if n.name in self._states):
+            collect_system_metrics(
+                self._states[name].node.system, node=name, into=registry
+            )
+        return registry
+
     def _merged_slo(self) -> SLOTracker:
         merged = SLOTracker()
         for ns in (self._states[n.name] for n in self.cluster if n.name in self._states):

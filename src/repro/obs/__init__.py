@@ -20,6 +20,8 @@ simulated-time tables stay byte-identical.
 
 from repro.obs.export import (
     RECOVERY_PHASES,
+    alert_annotations,
+    annotate_chrome_trace,
     chrome_trace,
     fleet_counter_track,
     recovery_phases,
@@ -35,9 +37,24 @@ from repro.obs.metric import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.alerts import PAGE, TICKET, Alert, AlertEngine, AlertRule, default_rules
+from repro.obs.sampling import TailSampler
 from repro.obs.span import NO_SPAN, Span, SpanContext, SpanRecorder
+from repro.obs.telemetry import TelemetryPipeline, TelemetrySource
+from repro.obs.timeseries import TimeSeriesStore, bucket_quantile
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "PAGE",
+    "TICKET",
+    "default_rules",
+    "TailSampler",
+    "TelemetryPipeline",
+    "TelemetrySource",
+    "TimeSeriesStore",
+    "bucket_quantile",
     "Counter",
     "Gauge",
     "Histogram",
@@ -50,6 +67,8 @@ __all__ = [
     "SpanRecorder",
     "NO_SPAN",
     "chrome_trace",
+    "annotate_chrome_trace",
+    "alert_annotations",
     "fleet_counter_track",
     "write_chrome_trace",
     "validate_chrome_trace",
@@ -66,7 +85,39 @@ def enable(system) -> None:
     system.platform.metrics.enabled = True
 
 
-def collect_system_metrics(system) -> "MetricsRegistry":
+class _NodePrefixed:
+    """A registry view that prefixes every instrument layer with
+    ``node=<id>:`` — the cluster-merge fix: absorbing N nodes' systems
+    into one registry used to silently collide (last absorb wins on
+    same-named gauges), because every node calls its partitions
+    ``part-gpu0`` and its layers ``spm``/``tracer``.  The view forwards
+    to the real registry, so ``absorb_into`` implementations work
+    unchanged."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", node: str) -> None:
+        self._registry = registry
+        self._prefix = f"node={node}:"
+
+    @property
+    def enabled(self) -> bool:
+        return self._registry.enabled
+
+    def counter(self, layer, name):
+        return self._registry.counter(self._prefix + layer, name)
+
+    def gauge(self, layer, name):
+        return self._registry.gauge(self._prefix + layer, name)
+
+    def histogram(self, layer, name, **kwargs):
+        return self._registry.histogram(self._prefix + layer, name, **kwargs)
+
+    def absorb(self, layer, counters) -> None:
+        self._registry.absorb(self._prefix + layer, counters)
+
+
+def collect_system_metrics(system, *, node=None, into=None) -> "MetricsRegistry":
     """Absorb every layer's counters into the system's registry.
 
     One call replaces the hand-rolled dict merging the wall-clock bench
@@ -74,16 +125,21 @@ def collect_system_metrics(system) -> "MetricsRegistry":
     lanes, device counters, tracer and span-recorder health, and SPM grant
     bookkeeping all land under one ``platform.metrics`` handle.  Returns
     the registry for chaining (``collect_system_metrics(sys).fingerprint()``).
+
+    On the cluster path pass ``node=<id>`` (and usually ``into=`` a shared
+    registry): every instrument layer gets a ``node=<id>:`` prefix so
+    merged registries from N nodes no longer collide.
     """
     platform = system.platform
-    registry = platform.metrics
+    registry = platform.metrics if into is None else into
     if not registry.enabled:
         return registry
+    target = _NodePrefixed(registry, node) if node is not None else registry
     spm = getattr(system, "spm", None)
     if spm is not None:
         for partition in spm.partitions():
-            partition.stage2.absorb_into(registry)
-            registry.absorb(
+            partition.stage2.absorb_into(target)
+            target.absorb(
                 f"partition:{partition.name}",
                 {
                     "fast_accesses": partition.fast_accesses,
@@ -92,8 +148,8 @@ def collect_system_metrics(system) -> "MetricsRegistry":
                 },
             )
             smmu_table = platform.smmu.table_for(partition.device.name)
-            smmu_table.absorb_into(registry)
-        registry.absorb(
+            smmu_table.absorb_into(target)
+        target.absorb(
             "spm",
             {
                 "grants_total": len(spm._grants),
@@ -105,11 +161,11 @@ def collect_system_metrics(system) -> "MetricsRegistry":
         for attr in ("kernels_launched", "bytes_in_use", "programs_run", "calls_executed"):
             value = getattr(device, attr, None)
             if isinstance(value, (int, float)):
-                registry.gauge(layer, attr).set(value)
-    registry.absorb(
+                target.gauge(layer, attr).set(value)
+    target.absorb(
         "tracer", {"events": len(platform.tracer), "dropped": platform.tracer.dropped}
     )
-    registry.absorb(
+    target.absorb(
         "obs", {"spans": len(platform.obs), "dropped": platform.obs.dropped}
     )
     return registry

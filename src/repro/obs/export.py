@@ -125,6 +125,50 @@ def fleet_counter_track(
     return events
 
 
+def annotate_chrome_trace(data: Mapping[str, object], alerts) -> Dict[str, object]:
+    """Annotate an exported trace with fired alerts as Chrome instant
+    events (``"ph": "i"``, global scope) at the alert's virtual
+    timestamp — this is the "recovery trace attached to alert" format
+    the alert engine dumps.  Returns a new trace object; the input's
+    event list is not mutated."""
+    events = list(data.get("traceEvents", ()))
+    for alert in alerts:
+        events.append(
+            {
+                "name": f"alert:{alert.rule}",
+                "cat": "alert",
+                "ph": "i",
+                "s": "g",
+                "ts": round(alert.t_us, 3),
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "alert_id": alert.alert_id,
+                    "rule": alert.rule,
+                    "severity": alert.severity,
+                    "value": alert.value,
+                    "threshold": alert.threshold,
+                    "labels": {k: v for k, v in alert.labels},
+                    "exemplar_trace_ids": list(alert.exemplar_trace_ids),
+                },
+            }
+        )
+    out = dict(data)
+    out["traceEvents"] = events
+    return out
+
+
+def alert_annotations(data: Mapping[str, object]) -> List[Dict[str, object]]:
+    """The alert instant events of an annotated trace, in file order."""
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return []
+    return [
+        e for e in events
+        if isinstance(e, dict) and e.get("ph") == "i" and e.get("cat") == "alert"
+    ]
+
+
 def write_chrome_trace(recorder, path: str, *, trace_id: Optional[int] = None) -> str:
     """Write the Perfetto-loadable JSON to ``path``; returns the path."""
     data = chrome_trace(recorder, trace_id=trace_id)
@@ -178,6 +222,21 @@ def validate_chrome_trace(data: Mapping[str, object]) -> List[str]:
                 problems.append(
                     f"event #{index}: counter 'args' must be a non-empty "
                     "mapping of numeric series"
+                )
+            continue
+        if phase == "i":
+            # Alert-annotation instant events (annotate_chrome_trace).
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"event #{index}: 'ts' missing or non-numeric")
+            iargs = event.get("args")
+            if (
+                not isinstance(iargs, dict)
+                or not isinstance(iargs.get("rule"), str)
+                or not isinstance(iargs.get("severity"), str)
+            ):
+                problems.append(
+                    f"event #{index}: instant-event 'args' must carry "
+                    "string 'rule' and 'severity'"
                 )
             continue
         if phase != "X":

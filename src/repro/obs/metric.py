@@ -81,20 +81,38 @@ class Histogram:
     ``bounds`` are the inclusive upper edges; one overflow bucket catches
     everything above the last bound.  Bounds are fixed at creation so the
     snapshot layout never depends on the data.
+
+    With ``track_range=True`` the histogram additionally counts
+    out-of-range observations explicitly — values above the last bound
+    as ``overflow`` (the ``+Inf`` bucket) and negative values as
+    ``underflow`` — instead of letting them vanish indistinguishably
+    into the trailing/leading fixed buckets.  The extra fields appear in
+    :meth:`render` and the registry snapshot *only* when the flag is on,
+    so every pre-existing fingerprint stays byte-identical.
     """
 
     kind = "histogram"
-    __slots__ = ("bounds", "counts", "total", "count")
+    __slots__ = ("bounds", "counts", "total", "count", "track_range", "overflow", "underflow")
 
-    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+    def __init__(
+        self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS, *, track_range: bool = False
+    ) -> None:
         if not bounds or list(bounds) != sorted(bounds):
             raise MetricError(f"histogram bounds must be sorted and non-empty: {bounds!r}")
         self.bounds = tuple(float(b) for b in bounds)
         self.counts: List[int] = [0] * (len(self.bounds) + 1)
         self.total = 0.0
         self.count = 0
+        self.track_range = track_range
+        self.overflow = 0
+        self.underflow = 0
 
     def observe(self, value: Number) -> None:
+        if self.track_range:
+            if value > self.bounds[-1]:
+                self.overflow += 1
+            elif value < 0:
+                self.underflow += 1
         self.counts[bisect_right(self.bounds, value)] += 1
         self.total += value
         self.count += 1
@@ -104,7 +122,10 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def render(self) -> str:
-        return f"count={self.count} sum={_fmt(round(self.total, 3))} mean={_fmt(round(self.mean, 3))}"
+        base = f"count={self.count} sum={_fmt(round(self.total, 3))} mean={_fmt(round(self.mean, 3))}"
+        if self.track_range:
+            base += f" +Inf={self.overflow} underflow={self.underflow}"
+        return base
 
 
 class _NullInstrument:
@@ -168,9 +189,16 @@ class MetricsRegistry:
         return self._get(layer, name, Gauge, "gauge")
 
     def histogram(
-        self, layer: str, name: str, *, bounds: Tuple[float, ...] = DEFAULT_BUCKETS
+        self,
+        layer: str,
+        name: str,
+        *,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKETS,
+        track_range: bool = False,
     ) -> Histogram:
-        return self._get(layer, name, lambda: Histogram(bounds), "histogram")
+        return self._get(
+            layer, name, lambda: Histogram(bounds, track_range=track_range), "histogram"
+        )
 
     # -- legacy counter dicts ----------------------------------------------
     def absorb(self, layer: str, counters: Mapping[str, Number]) -> None:
@@ -190,12 +218,16 @@ class MetricsRegistry:
             metric = self._metrics[(layer, name)]
             key = f"{layer}/{name}"
             if isinstance(metric, Histogram):
-                out[key] = {
+                hist: Dict[str, object] = {
                     "count": metric.count,
                     "sum": round(metric.total, 6),
                     "buckets": list(metric.counts),
                     "bounds": list(metric.bounds),
                 }
+                if metric.track_range:
+                    hist["overflow"] = metric.overflow
+                    hist["underflow"] = metric.underflow
+                out[key] = hist
             else:
                 out[key] = metric.value
         return out

@@ -1,0 +1,181 @@
+"""Tail-based trace sampling: keep the traces worth keeping.
+
+PR 5's recorder keeps every span of every request, which is the right
+default for a figure-9 failover run and exactly wrong for a million-
+request serving campaign: almost all traces are healthy and identical,
+and the handful you ever open are the slow ones, the errored ones, and
+the ones that crossed a crash.  Tail-based sampling makes the retain
+decision *at trace completion*, when the outcome is known:
+
+* **always retain** errored/expired traces and traces touched by crash
+  recovery (:meth:`TailSampler.note_recovery`), even past the byte
+  budget — losing the evidence of a failure defeats the point;
+* **retain slow traces** (completion latency above ``slow_us``) while
+  the deterministic byte budget lasts — trace size is estimated from
+  span names and attribute counts (:meth:`TailSampler.trace_bytes`),
+  never from real serialized sizes, so the budget cut lands on the same
+  request in every replay;
+* **drop everything else** through
+  :meth:`~repro.obs.span.SpanRecorder.discard_trace`, which reclaims the
+  span memory lazily.
+
+Retained traces are linked back to the latency histogram: each retained
+trace id is filed under its latency bucket (capped per bucket), giving
+the histogram-bucket → exemplar-trace navigation the alert engine uses
+to attach exemplar requests to per-tenant alerts.
+
+Everything here is driven by the engines' completion paths on the
+virtual timeline; the sampler never looks at a clock itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.metric import DEFAULT_BUCKETS
+from repro.obs.span import SpanRecorder
+
+_RETAIN_OUTCOMES = ("expired", "error", "failed")
+
+# Deterministic per-span cost estimate: a fixed overhead per span plus
+# the name bytes and a flat cost per attribute.  Stable across replays
+# by construction (no real serialization involved).
+_SPAN_BASE_BYTES = 64
+_ATTR_BYTES = 16
+
+
+class TailSampler:
+    """Per-recorder tail sampler with a deterministic byte budget."""
+
+    def __init__(
+        self,
+        recorder: SpanRecorder,
+        *,
+        slow_us: float = 100_000.0,
+        byte_budget: int = 512 * 1024,
+        exemplars_per_bucket: int = 2,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.recorder = recorder
+        self.slow_us = float(slow_us)
+        self.byte_budget = int(byte_budget)
+        self.exemplars_per_bucket = exemplars_per_bucket
+        self.bounds = tuple(bounds)
+        self.considered = 0
+        self.retained: Dict[int, str] = {}
+        """trace_id -> retain reason ("slow" | "recovery" | outcome)."""
+        self.retained_bytes = 0
+        self.budget_rejected = 0
+        self.discarded_traces = 0
+        self.discarded_spans = 0
+        self._recovery: Set[int] = set()
+        self._exemplars: Dict[int, List[int]] = {}
+        """latency-bucket index -> first retained trace ids (capped)."""
+        self._by_tenant: Dict[str, List[int]] = {}
+
+    # -- signals from the engines -------------------------------------------
+    def note_recovery(self, trace_id: Optional[int]) -> None:
+        """Mark a trace as crash-recovery-touched: always retained."""
+        if trace_id is not None:
+            self._recovery.add(trace_id)
+
+    def observe(
+        self,
+        trace_id: Optional[int],
+        *,
+        latency_us: float,
+        outcome: str,
+        tenant: Optional[str] = None,
+    ) -> bool:
+        """The retain decision for one completed trace.  Returns whether
+        the trace was kept; a dropped trace's spans are reclaimed."""
+        if trace_id is None or not self.recorder.enabled:
+            return False
+        if trace_id in self.retained:
+            return True
+        self.considered += 1
+        if trace_id in self._recovery:
+            reason = "recovery"
+        elif outcome in _RETAIN_OUTCOMES:
+            reason = outcome
+        elif latency_us > self.slow_us:
+            reason = "slow"
+        else:
+            reason = None
+        if reason is None:
+            self._discard(trace_id)
+            return False
+        cost = self.trace_bytes(trace_id)
+        if reason == "slow" and self.retained_bytes + cost > self.byte_budget:
+            # Only discretionary (slow) retention bows to the budget;
+            # failure evidence is kept even if it overruns.
+            self.budget_rejected += 1
+            self._discard(trace_id)
+            return False
+        self.retained[trace_id] = reason
+        self.retained_bytes += cost
+        bucket = bisect_right(self.bounds, latency_us)
+        exemplars = self._exemplars.setdefault(bucket, [])
+        if len(exemplars) < self.exemplars_per_bucket:
+            exemplars.append(trace_id)
+        if tenant is not None:
+            per_tenant = self._by_tenant.setdefault(tenant, [])
+            if len(per_tenant) < 4:
+                per_tenant.append(trace_id)
+        return True
+
+    def _discard(self, trace_id: int) -> None:
+        self.discarded_spans += self.recorder.discard_trace(trace_id)
+        self.discarded_traces += 1
+        self._recovery.discard(trace_id)
+
+    # -- deterministic sizing -----------------------------------------------
+    def trace_bytes(self, trace_id: int) -> int:
+        """Deterministic size estimate of a trace's retained bytes."""
+        total = 0
+        for span in self.recorder.trace_spans(trace_id):
+            total += _SPAN_BASE_BYTES + len(span.name) + _ATTR_BYTES * len(span.attrs)
+        return total
+
+    # -- exemplar navigation -------------------------------------------------
+    def bucket_exemplars(self) -> Dict[int, Tuple[int, ...]]:
+        """latency-bucket index -> retained exemplar trace ids."""
+        return {b: tuple(ids) for b, ids in sorted(self._exemplars.items())}
+
+    def tenant_exemplars(self, tenant: str) -> Tuple[int, ...]:
+        return tuple(self._by_tenant.get(tenant, ()))
+
+    def top_exemplars(self, limit: int = 4) -> Tuple[int, ...]:
+        """Exemplars from the slowest latency buckets downwards."""
+        out: List[int] = []
+        for bucket in sorted(self._exemplars, reverse=True):
+            for trace_id in self._exemplars[bucket]:
+                out.append(trace_id)
+                if len(out) >= limit:
+                    return tuple(out)
+        return tuple(out)
+
+    # -- reporting ------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "considered": self.considered,
+            "retained": len(self.retained),
+            "retained_bytes": self.retained_bytes,
+            "byte_budget": self.byte_budget,
+            "budget_rejected": self.budget_rejected,
+            "discarded_traces": self.discarded_traces,
+            "discarded_spans": self.discarded_spans,
+        }
+
+    def render(self) -> str:
+        lines = [
+            " ".join(f"{k}={v}" for k, v in sorted(self.stats().items()))
+        ]
+        for trace_id in sorted(self.retained):
+            lines.append(f"trace {trace_id} {self.retained[trace_id]}")
+        return "\n".join(lines)
+
+    def fingerprint(self) -> str:
+        return hashlib.sha256(self.render().encode()).hexdigest()

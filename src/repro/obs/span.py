@@ -22,30 +22,40 @@ Determinism contract (see ``docs/observability.md``):
 
 from __future__ import annotations
 
-import sys
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.obs.flight import FlightRecorder
 
-_DATACLASS_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-
-@dataclass(frozen=True, **_DATACLASS_SLOTS)
 class SpanContext:
     """The in-band propagated identity of one span.
 
     ``seq`` is a recorder-global monotonic sequence number: spans sharing
     one simulated timestamp still have a stable total order.
 
-    Slotted on Python 3.10+: one context is allocated per recorded span,
-    so enabled-observability serving runs mint these by the million.
+    A hand-rolled slotted class rather than a frozen dataclass: one
+    context is allocated per recorded span, so enabled-observability
+    serving runs mint these by the million, and the frozen-dataclass
+    ``object.__setattr__`` constructor is measurably slower on that
+    path.  Identity comparison (the only one the recorder uses) is the
+    semantics: no two live contexts ever share a ``seq``.
     """
 
-    trace_id: int
-    span_id: int
-    parent_id: Optional[int]
-    seq: int
+    __slots__ = ("trace_id", "span_id", "parent_id", "seq")
+
+    def __init__(
+        self, trace_id: int, span_id: int, parent_id: Optional[int], seq: int
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanContext(trace_id={self.trace_id}, span_id={self.span_id}, "
+            f"parent_id={self.parent_id}, seq={self.seq})"
+        )
 
     def wire(self) -> Tuple[int, int]:
         """The (trace_id, span_id) pair carried inside sRPC records."""
@@ -138,6 +148,14 @@ class SpanRecorder:
         self.flight = FlightRecorder(flight_capacity)
         self._partition_last: Dict[str, SpanContext] = {}
         self.flight_dumps: List[Tuple[float, str, str, Tuple[Span, ...]]] = []
+        # Tail-sampling support: a per-trace index so a sampler can size
+        # and drop whole traces without scanning the span list, plus a
+        # lazy-discard set compacted once half the list is dead weight.
+        self._by_trace: Dict[int, List[Span]] = {}
+        self._discarded: Set[int] = set()
+        self._lazy = 0
+        self.discarded_spans = 0
+        self.discarded_traces = 0
 
     # -- context plumbing --------------------------------------------------
     def _resolve_parent(self, parent) -> Optional[SpanContext]:
@@ -162,7 +180,7 @@ class SpanRecorder:
         else:
             trace_id = parent.trace_id
             parent_id = parent.span_id
-        return SpanContext(trace_id=trace_id, span_id=span_id, parent_id=parent_id, seq=self._seq)
+        return SpanContext(trace_id, span_id, parent_id, self._seq)
 
     def current(self) -> Optional[SpanContext]:
         """The innermost open span context, if any."""
@@ -197,15 +215,17 @@ class SpanRecorder:
         """
         if not self.enabled:
             return NO_SPAN
-        if len(self._spans) >= self.capacity:
+        if len(self._spans) - self._lazy >= self.capacity:
             self.dropped += 1
             return NO_SPAN
         ctx = self._make_context(self._resolve_parent(parent))
+        # ``attrs`` is already a fresh per-call kwargs dict: no copy.
         span = Span(
             ctx, name, category, partition, enclave,
-            self._clock.now if ts is None else ts, dict(attrs),
+            self._clock.now if ts is None else ts, attrs,
         )
         self._spans.append(span)
+        self._by_trace.setdefault(ctx.trace_id, []).append(span)
         if not detached:
             self._stack.append(ctx)
         if partition is not None:
@@ -246,13 +266,14 @@ class SpanRecorder:
         whose start/end are known only after the submit."""
         if not self.enabled:
             return NO_SPAN
-        if len(self._spans) >= self.capacity:
+        if len(self._spans) - self._lazy >= self.capacity:
             self.dropped += 1
             return NO_SPAN
         ctx = self._make_context(self._resolve_parent(parent))
-        span = Span(ctx, name, category, partition, enclave, start_us, dict(attrs))
+        span = Span(ctx, name, category, partition, enclave, start_us, attrs)
         span.end_us = end_us
         self._spans.append(span)
+        self._by_trace.setdefault(ctx.trace_id, []).append(span)
         if partition is not None:
             self._partition_last[partition] = ctx
         self.flight.push(span)
@@ -295,6 +316,42 @@ class SpanRecorder:
             self.flight_dumps.append((self._clock.now, partition, reason, snapshot))
         return snapshot
 
+    # -- tail sampling -----------------------------------------------------
+    def trace_spans(self, trace_id: int) -> Tuple[Span, ...]:
+        """All spans of one trace, in recording order (O(trace size))."""
+        return tuple(self._by_trace.get(trace_id, ()))
+
+    def discard_trace(self, trace_id: int) -> int:
+        """Drop a whole trace (a tail sampler's negative retain decision).
+
+        Removal from the flat span list is lazy: the trace is marked dead
+        and physically compacted away only once discarded spans make up
+        half the list, so per-request discards stay amortized O(1).
+        Returns the number of spans discarded."""
+        spans = self._by_trace.pop(trace_id, None)
+        if spans is None:
+            return 0
+        count = len(spans)
+        self._discarded.add(trace_id)
+        self._lazy += count
+        self.discarded_spans += count
+        self.discarded_traces += 1
+        # The absolute floor keeps steady-state discarding amortized O(1):
+        # without it, once most spans are dead every discard re-triggers
+        # an O(live) rebuild of a mostly-retained list.
+        if self._lazy >= 512 and self._lazy * 2 >= len(self._spans):
+            discarded = self._discarded
+            self._spans = [s for s in self._spans if s.context.trace_id not in discarded]
+            self._discarded = set()
+            self._lazy = 0
+        return count
+
+    def _live(self) -> List[Span]:
+        if not self._discarded:
+            return self._spans
+        discarded = self._discarded
+        return [s for s in self._spans if s.context.trace_id not in discarded]
+
     # -- introspection -----------------------------------------------------
     def spans(
         self,
@@ -303,9 +360,10 @@ class SpanRecorder:
         category: Optional[str] = None,
         name: Optional[str] = None,
     ) -> Tuple[Span, ...]:
-        out = self._spans
         if trace_id is not None:
-            out = [s for s in out if s.context.trace_id == trace_id]
+            out: List[Span] = list(self._by_trace.get(trace_id, ()))
+        else:
+            out = self._live()
         if category is not None:
             out = [s for s in out if s.category == category]
         if name is not None:
@@ -313,14 +371,14 @@ class SpanRecorder:
         return tuple(out)
 
     def span_by_id(self, span_id: int) -> Optional[Span]:
-        for span in self._spans:
+        for span in self._live():
             if span.context.span_id == span_id:
                 return span
         return None
 
     def trace_ids(self) -> Tuple[int, ...]:
         seen: List[int] = []
-        for span in self._spans:
+        for span in self._live():
             if span.context.trace_id not in seen:
                 seen.append(span.context.trace_id)
         return tuple(seen)
@@ -332,9 +390,14 @@ class SpanRecorder:
         self.flight_dumps.clear()
         self.flight.clear()
         self.dropped = 0
+        self._by_trace.clear()
+        self._discarded.clear()
+        self._lazy = 0
+        self.discarded_spans = 0
+        self.discarded_traces = 0
 
     def __len__(self) -> int:
-        return len(self._spans)
+        return len(self._spans) - self._lazy
 
 
 class _Attached:

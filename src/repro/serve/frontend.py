@@ -283,6 +283,7 @@ class ServingSystem:
         autoscaler: Optional[object] = None,
         initial_live: Optional[Sequence[str]] = None,
         boot_delay_us: Optional[float] = None,
+        telemetry: Optional[object] = None,
     ) -> None:
         self.system = system
         self.kernels = kernels
@@ -314,6 +315,14 @@ class ServingSystem:
         self._metrics = system.platform.metrics
         self._request_spans: Dict[str, object] = {}
         """rid -> open request root span (serving virtual-time axis)."""
+        # -- telemetry pipeline (inert when None) --------------------------
+        self.telemetry = telemetry
+        self._tel_source = None
+        self._next_scrape_us: Optional[float] = None
+        if telemetry is not None:
+            # Owning engine: attach the underlying system (this enables
+            # spans + metrics) and drive the scrape timer from run().
+            self._tel_source = telemetry.attach(system, slo=self.slo)
         # -- elastic fleet state (inert when self._fleet is None) ----------
         if autoscaler is None:
             self.autoscaler: Optional[Autoscaler] = None
@@ -353,6 +362,24 @@ class ServingSystem:
     # -- tenants -----------------------------------------------------------
     def add_tenant(self, spec: TenantSpec) -> Tenant:
         return self.registry.register(spec)
+
+    # -- telemetry ---------------------------------------------------------
+    def bind_telemetry(self, source) -> None:
+        """Bind a cluster-owned :class:`~repro.obs.telemetry.TelemetrySource`
+        for completion/tail-sampling notifications.  Used when a
+        :class:`~repro.cluster.serve.ClusterServingSystem` owns the
+        pipeline and drives the scrape timer from its own loop."""
+        self._tel_source = source
+
+    def _process_scrape(self) -> None:
+        """Fire every scrape boundary due at ``_now`` (the last phase of
+        an instant, so a scrape observes that instant's settled state)."""
+        if self.telemetry is None or self._next_scrape_us is None:
+            return
+        interval = self.telemetry.scrape_interval_us
+        while self._next_scrape_us <= self._now:
+            self.telemetry.scrape(self._next_scrape_us)
+            self._next_scrape_us += interval
 
     # -- the elastic fleet -------------------------------------------------
     def _ensure_fleet(self) -> None:
@@ -606,6 +633,8 @@ class ServingSystem:
         pending = sorted(arrivals, key=_ARRIVAL_ORDER)
         crash_queue = sorted(crash_events)
         scale_queue = self._begin_run(scale_events)
+        if self.telemetry is not None:
+            self._next_scrape_us = self._now + self.telemetry.scrape_interval_us
         ai = ci = si = 0
         n_pending, n_crash = len(pending), len(crash_queue)
         n_scale = len(scale_queue)
@@ -632,12 +661,18 @@ class ServingSystem:
                 ci += 1
             for device in self.batcher.due_partitions(self._now):
                 self._flush(device)
+            self._process_scrape()
         # A parked request with no pending recovery or boot can never run
         # (its partition was torn down outside the serving layer): report
         # it expired rather than losing it silently.
         for request in self._parked:
             self._expire(request)
         self._parked.clear()
+        if self.telemetry is not None:
+            # Final scrape at the makespan so the tail of the run lands
+            # in the store (scrape timers never extend the makespan).
+            self.telemetry.scrape(self._now)
+            self._next_scrape_us = None
         return self.report()
 
     def _next_event_time(
@@ -695,6 +730,11 @@ class ServingSystem:
             scale = scale_queue[si][0]
             if t is None or scale < t:
                 t = scale
+        # A scrape deadline only wins when a real event exists after it:
+        # telemetry subdivides waits, it never extends the makespan.
+        scrape = self._next_scrape_us
+        if scrape is not None and t is not None and scrape < t:
+            t = scrape
         return t
 
     def offer(self, request: Request) -> AdmissionDecision:
@@ -727,6 +767,13 @@ class ServingSystem:
                 span, ts=request.arrival_us, outcome="rejected",
                 reason=decision.reason,
             )
+            if self._tel_source is not None and span.context is not None:
+                # Tail-sample the rejection trace away immediately: a
+                # one-span rejected trace is never worth its memory.
+                self._tel_source.request_done(
+                    span.context.trace_id, latency_us=0.0,
+                    outcome="rejected", tenant=request.tenant,
+                )
             if self._metrics.enabled:
                 self._metrics.counter("serve", "rejected").inc()
             return decision
@@ -791,10 +838,17 @@ class ServingSystem:
             self.slo.record_rejected(request, REJECT_NO_PARTITION)
             self.admission.settle(request)
             self._rejected_after_admit.add(request.rid)
+            span = self._request_spans.pop(request.rid, NO_SPAN)
             self._obs.end(
-                self._request_spans.pop(request.rid, NO_SPAN),
-                ts=self._now, outcome="rejected", reason=REJECT_NO_PARTITION,
+                span, ts=self._now, outcome="rejected", reason=REJECT_NO_PARTITION,
             )
+            if self._tel_source is not None and span.context is not None:
+                self._tel_source.request_done(
+                    span.context.trace_id,
+                    latency_us=self._now - request.arrival_us,
+                    outcome="failed",
+                    tenant=request.tenant,
+                )
             return
         device = mos.partition.device.name
         if self.batcher.add(device, request, self._now):
@@ -912,10 +966,15 @@ class ServingSystem:
             self.wrong_results += 1
         self.slo.record_completed(request, completion_us)
         self.admission.settle(request)
-        self._obs.end(
-            self._request_spans.pop(request.rid, NO_SPAN),
-            ts=completion_us, outcome="completed", correct=correct,
-        )
+        span = self._request_spans.pop(request.rid, NO_SPAN)
+        self._obs.end(span, ts=completion_us, outcome="completed", correct=correct)
+        if self._tel_source is not None and span.context is not None:
+            self._tel_source.request_done(
+                span.context.trace_id,
+                latency_us=completion_us - request.arrival_us,
+                outcome="completed" if correct else "error",
+                tenant=request.tenant,
+            )
         if self._metrics.enabled:
             self._metrics.counter("serve", "completed").inc()
             self._metrics.histogram("serve", "latency_us").observe(
@@ -931,10 +990,15 @@ class ServingSystem:
             # was queued on must rescore or incremental placement diverges
             # from a full recompute (the expiry-path mark_dirty fix).
             self.placer.mark_dirty(device)
-        self._obs.end(
-            self._request_spans.pop(request.rid, NO_SPAN),
-            ts=self._now, outcome="expired",
-        )
+        span = self._request_spans.pop(request.rid, NO_SPAN)
+        self._obs.end(span, ts=self._now, outcome="expired")
+        if self._tel_source is not None and span.context is not None:
+            self._tel_source.request_done(
+                span.context.trace_id,
+                latency_us=self._now - request.arrival_us,
+                outcome="expired",
+                tenant=request.tenant,
+            )
         if self._metrics.enabled:
             self._metrics.counter("serve", "expired").inc()
 
@@ -1003,10 +1067,14 @@ class ServingSystem:
             requeue.extend(self.batcher.evict(device))
         for request in requeue:
             self.slo.record_requeued(request)
+            context = self._request_context(request.rid)
+            if self._tel_source is not None and context is not None:
+                # This trace crossed a crash: pin it in the tail sampler.
+                self._tel_source.note_recovery(context.trace_id)
             if self._obs.enabled:
                 self._obs.event(
                     "serve.requeue", category="serve", ts=self._now,
-                    parent=self._request_context(request.rid),
+                    parent=context,
                     rid=request.rid, from_device=device,
                 )
             if self._metrics.enabled:

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.dispatch.dispatcher import DispatchError, NoReadyPartition
 from repro.faults import injector as _faults
+from repro.obs.span import NO_SPAN
 from repro.rpc.channel import SRPCPeerFailure
 from repro.secure.spm import SPMError
 from repro.serve.admission import AdmissionController, AdmissionDecision, Request
@@ -336,6 +337,7 @@ class LLMEngine:
         mode: str = MODE_CONTINUOUS,
         stream_tokens: bool = True,
         kernels: Tuple[str, ...] = ("matmul",),
+        telemetry: Optional[object] = None,
     ) -> None:
         self.system = system
         self.config = config if config is not None else LLMConfig()
@@ -364,10 +366,44 @@ class LLMEngine:
         self.iterations = 0
         self._obs = system.platform.obs
         self._metrics = system.platform.metrics
+        self._sequence_spans: Dict[str, object] = {}
+        """rid -> open sequence root span (virtual-time axis)."""
+        # -- telemetry pipeline (inert when None) --------------------------
+        self.telemetry = telemetry
+        self._tel_source = None
+        self._next_scrape_us: Optional[float] = None
+        if telemetry is not None:
+            self._tel_source = telemetry.attach(
+                system, slo=self.slo, extra=self._telemetry_extra
+            )
 
     # -- tenants -----------------------------------------------------------
     def add_tenant(self, spec: TenantSpec) -> Tenant:
         return self.registry.register(spec)
+
+    # -- telemetry ---------------------------------------------------------
+    def bind_telemetry(self, source) -> None:
+        """Bind an externally owned telemetry source (the owner drives
+        the scrapes); see :meth:`ServingSystem.bind_telemetry`."""
+        self._tel_source = source
+
+    def _telemetry_extra(self) -> Dict[str, float]:
+        """Cumulative safety counters scraped alongside the registry —
+        these feed the scrub-violation and KV-leak burn-rate rules."""
+        return {
+            "llm/scrub_violations": float(self.scrub_violations),
+            "llm/kv_leaks": float(
+                sum(c.leaked_blocks for c in self._caches.values())
+            ),
+        }
+
+    def _process_scrape(self) -> None:
+        if self.telemetry is None or self._next_scrape_us is None:
+            return
+        interval = self.telemetry.scrape_interval_us
+        while self._next_scrape_us <= self._now:
+            self.telemetry.scrape(self._next_scrape_us)
+            self._next_scrape_us += interval
 
     # -- per-device state --------------------------------------------------
     def _cache(self, device: str) -> PagedKVCache:
@@ -407,6 +443,16 @@ class LLMEngine:
         self._admitted.add(request.rid)
         sequence = SequenceState(request)
         self._sequences[request.rid] = sequence
+        if self._obs.enabled:
+            # Sequence roots live on the virtual event axis, like the
+            # frontend's request roots (timestamps passed explicitly).
+            span = self._obs.begin(
+                "llm.sequence", category="serve", detached=True,
+                ts=request.arrival_us, rid=request.rid, tenant=request.tenant,
+                prompt=request.prompt_tokens, max_new=request.max_new_tokens,
+            )
+            if span is not NO_SPAN:
+                self._sequence_spans[request.rid] = span
         if self._metrics.enabled:
             self._metrics.counter("llm", "sequences").inc()
         self._place(sequence)
@@ -534,6 +580,17 @@ class LLMEngine:
         self.slo.record_completed(request, now)
         self.slo.record_sequence_finished(request)
         self.admission.settle(request)
+        span = self._sequence_spans.pop(request.rid, NO_SPAN)
+        self._obs.end(
+            span, ts=now, outcome="finished", tokens=sequence.tokens_emitted
+        )
+        if self._tel_source is not None and span.context is not None:
+            self._tel_source.request_done(
+                span.context.trace_id,
+                latency_us=now - request.arrival_us,
+                outcome="completed",
+                tenant=request.tenant,
+            )
         if self._metrics.enabled:
             self._metrics.counter("llm", "finished").inc()
 
@@ -584,6 +641,14 @@ class LLMEngine:
         for sequence in victims:
             request = sequence.request
             self.slo.record_requeued(request)
+            span = self._sequence_spans.get(request.rid)
+            if (
+                self._tel_source is not None
+                and span is not None
+                and span.context is not None
+            ):
+                # The sequence crossed a crash: pin it in the sampler.
+                self._tel_source.note_recovery(span.context.trace_id)
             if not sequence.needs_prefill:
                 # Mid-decode victim: its KV died with the partition.  It
                 # owes exactly one re-prefill before decoding again.
@@ -629,6 +694,8 @@ class LLMEngine:
         """
         pending = sorted(arrivals, key=_ARRIVAL_ORDER)
         crash_queue = sorted(crash_events)
+        if self.telemetry is not None:
+            self._next_scrape_us = self._now + self.telemetry.scrape_interval_us
         ai = ci = 0
         n_pending, n_crash = len(pending), len(crash_queue)
         while True:
@@ -649,13 +716,27 @@ class LLMEngine:
             while ci < n_crash and crash_queue[ci][0] <= self._now:
                 self.crash_device(crash_queue[ci][1])
                 ci += 1
+            self._process_scrape()
         # Parked sequences with no recovery pending can never decode
         # (every partition they may use is gone): report them expired.
         for sequence in self._parked:
-            self._expired.add(sequence.request.rid)
-            self.slo.record_expired(sequence.request)
-            self.admission.settle(sequence.request)
+            request = sequence.request
+            self._expired.add(request.rid)
+            self.slo.record_expired(request)
+            self.admission.settle(request)
+            span = self._sequence_spans.pop(request.rid, NO_SPAN)
+            self._obs.end(span, ts=self._now, outcome="expired")
+            if self._tel_source is not None and span.context is not None:
+                self._tel_source.request_done(
+                    span.context.trace_id,
+                    latency_us=self._now - request.arrival_us,
+                    outcome="expired",
+                    tenant=request.tenant,
+                )
         self._parked.clear()
+        if self.telemetry is not None:
+            self.telemetry.scrape(self._now)
+            self._next_scrape_us = None
         return self.report()
 
     def _next_event_time(
@@ -689,6 +770,10 @@ class LLMEngine:
             crash = crash_queue[ci][0]
             if t is None or crash < t:
                 t = crash
+        # Scrapes subdivide waits; they never extend the makespan.
+        scrape = self._next_scrape_us
+        if scrape is not None and t is not None and scrape < t:
+            t = scrape
         return t
 
     # -- reporting ---------------------------------------------------------
