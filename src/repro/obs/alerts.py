@@ -18,8 +18,13 @@ matching every tenant — and one of three evaluation modes:
   total exceeds the threshold (rejection-rate style rules).
 
 Alerts are typed, numbered by a monotonic counter, deduplicated per
-``(rule, labels)`` episode (a firing rule stays *active* and does not
-re-fire until it clears), and carry exemplar trace IDs resolved through
+``(rule, series key)`` episode (a firing rule stays *active* and does
+not re-fire until it clears).  The series key includes any ``node=``
+prefix, so the same tenant on two cluster nodes is two independent
+episodes: node1 clearing never discards node0's active page, and a
+breach starting on a second node pages again instead of hiding under
+the first — fired alerts carry a ``node`` label to tell them apart.
+Alerts carry exemplar trace IDs resolved through
 the tail sampler plus — for node-death pages — the retained recovery
 Chrome trace, which :meth:`AlertEngine.dump_recovery_traces` writes to
 disk with the alert annotated into the trace itself.
@@ -231,10 +236,17 @@ class AlertEngine:
                 fast = self._window_value(rule, key, captured, t_us, rule.fast_window_us)
                 slow = self._window_value(rule, key, captured, t_us, rule.slow_window_us)
                 breach = fast > rule.threshold and slow > rule.threshold
-                labels: LabelSet = ((rule.label, captured),) if captured else ()
-                state = (rule.name, labels)
+                # Episode state is keyed by the concrete store key, not
+                # the captured label: per-node series sharing a tenant
+                # must not collide (a healthy node would discard another
+                # node's active episode and the alert would re-fire on
+                # every scrape).
+                state = (rule.name, key)
                 if breach and state not in self._active:
                     self._active.add(state)
+                    labels: LabelSet = ((rule.label, captured),) if captured else ()
+                    if key.startswith("node="):
+                        labels += (("node", key.split("|", 1)[0][len("node="):]),)
                     fired.append(
                         self._fire(
                             rule_name=rule.name,
@@ -248,7 +260,7 @@ class AlertEngine:
                             rule=rule,
                         )
                     )
-                elif not breach and state in self._active:
+                elif not breach:
                     self._active.discard(state)
         self.alerts.extend(fired)
         return fired
@@ -327,6 +339,12 @@ class AlertEngine:
     ) -> float:
         since = t_us - window_us
         if rule.mode == "max":
+            bare = key.split("|", 1)[1] if key.startswith("node=") else key
+            if bare.startswith("gauge:"):
+                # Gauges are recorded only on change: a gauge stuck at a
+                # bad value emits no samples inside the window, yet it
+                # still *is* that value — carry the last write forward.
+                return float(self.store.window_max_sticky(key, since))
             return float(self.store.window_max(key, since))
         if rule.mode == "sum":
             return float(self.store.window_sum(key, since))

@@ -218,7 +218,14 @@ class SpanRecorder:
         if len(self._spans) - self._lazy >= self.capacity:
             self.dropped += 1
             return NO_SPAN
-        ctx = self._make_context(self._resolve_parent(parent))
+        parent_ctx = self._resolve_parent(parent)
+        if parent_ctx is not None and parent_ctx.trace_id in self._discarded:
+            # A late child of a trace the sampler already dropped: admitting
+            # it would silently resurrect ``_by_trace[tid]`` with spans that
+            # ``_live()`` filters out but ``__len__``/capacity still count.
+            self.discarded_spans += 1
+            return NO_SPAN
+        ctx = self._make_context(parent_ctx)
         # ``attrs`` is already a fresh per-call kwargs dict: no copy.
         span = Span(
             ctx, name, category, partition, enclave,
@@ -269,7 +276,12 @@ class SpanRecorder:
         if len(self._spans) - self._lazy >= self.capacity:
             self.dropped += 1
             return NO_SPAN
-        ctx = self._make_context(self._resolve_parent(parent))
+        parent_ctx = self._resolve_parent(parent)
+        if parent_ctx is not None and parent_ctx.trace_id in self._discarded:
+            # See begin(): late spans of a discarded trace are dropped.
+            self.discarded_spans += 1
+            return NO_SPAN
+        ctx = self._make_context(parent_ctx)
         span = Span(ctx, name, category, partition, enclave, start_us, attrs)
         span.end_us = end_us
         self._spans.append(span)
@@ -327,6 +339,10 @@ class SpanRecorder:
         Removal from the flat span list is lazy: the trace is marked dead
         and physically compacted away only once discarded spans make up
         half the list, so per-request discards stay amortized O(1).
+        While the mark is live, late spans arriving for the trace are
+        dropped by :meth:`begin`/:meth:`record` (counted in
+        ``discarded_spans``); after compaction clears the mark, a late
+        span starts a fresh, fully-consistent ``_by_trace`` entry.
         Returns the number of spans discarded."""
         spans = self._by_trace.pop(trace_id, None)
         if spans is None:

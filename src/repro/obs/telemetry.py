@@ -263,11 +263,15 @@ class TelemetryPipeline:
 
     def _exemplars(self, rule, labels) -> Tuple[int, ...]:
         """Exemplar trace ids for a firing alert, resolved through the
-        attached samplers (attach order — deterministic)."""
+        attached samplers (attach order — deterministic).  Alerts over a
+        node-prefixed series carry a ``node`` label; their exemplars
+        come from that node's sampler only."""
         label_map = dict(labels)
         tenant = label_map.get("tenant")
+        node_source = self._by_node.get(label_map.get("node"))
+        sources = [node_source] if node_source is not None else self.sources
         out: List[int] = []
-        for source in self.sources:
+        for source in sources:
             if source.sampler is None:
                 continue
             if tenant is not None:

@@ -228,6 +228,27 @@ class TimeSeriesStore:
         values = [v for t, v in ring if t > since_us]
         return max(values) if values else 0
 
+    def window_max_sticky(self, key: str, since_us: float) -> Number:
+        """Max sample strictly after ``since_us``; when no sample falls
+        inside the window, the most recent sample at-or-before it.
+
+        This is the last-write-carried-forward read for gauge series,
+        which record only on change: a gauge stuck at a value since
+        before the window still *is* that value throughout it, so
+        alert rules over gauges keep firing past the window width."""
+        ring = self._series.get(key)
+        if not ring:
+            return 0
+        best = carry = None
+        for t, v in ring:
+            if t > since_us:
+                best = v if best is None else max(best, v)
+            else:
+                carry = v
+        if best is not None:
+            return best
+        return carry if carry is not None else 0
+
     # -- deterministic export ------------------------------------------------
     def render(self) -> str:
         """All retained windows, sorted keys, fixed formatting."""

@@ -220,9 +220,59 @@ class TestAlertEngine:
         store.scrape_cumulative(1_000.0, "node=n1|slo:a.offered", 10)
         store.scrape_cumulative(1_000.0, "node=n1|slo:a.rejected", 9)
         fired = engine.evaluate(1_000.0)
-        assert [a.labels for a in fired] == [(("tenant", "a"),)]
+        assert [a.labels for a in fired] == [(("tenant", "a"), ("node", "n1"))]
         # The ratio's denominator resolved under the same node prefix.
         assert fired[0].value == pytest.approx(0.9)
+
+    def test_per_node_episodes_are_independent(self):
+        """The same tenant on two nodes is two episodes: a healthy node
+        never discards another node's active page (which would re-fire
+        the same alert on every scrape), and a breach starting on a
+        second node pages again instead of hiding under the first."""
+        store = TimeSeriesStore(window_us=1_000.0)
+        rule = AlertRule(
+            name="burn", series="slo:*.p99_us", label="tenant", mode="max",
+            threshold=100.0, fast_window_us=2_000.0, slow_window_us=2_000.0,
+        )
+        engine = AlertEngine(store, [rule])
+        # node0 breaches, node1 stays healthy, sustained over 3 scrapes.
+        for t in (1, 2, 3):
+            store.record(t * 1_000.0, "node=n0|slo:a.p99_us", 500.0)
+            store.record(t * 1_000.0, "node=n1|slo:a.p99_us", 10.0)
+            engine.evaluate(t * 1_000.0)
+        burns = [a for a in engine.alerts if a.rule == "burn"]
+        assert len(burns) == 1  # one episode, no per-scrape re-fire
+        assert burns[0].labels == (("tenant", "a"), ("node", "n0"))
+        # node1 starts breaching while node0's episode is still active.
+        store.record(4_000.0, "node=n0|slo:a.p99_us", 500.0)
+        store.record(4_000.0, "node=n1|slo:a.p99_us", 500.0)
+        fired = engine.evaluate(4_000.0)
+        assert [a.labels for a in fired] == [(("tenant", "a"), ("node", "n1"))]
+
+    def test_gauge_rule_sticks_past_the_window(self):
+        """Gauges record only on change: a rule over a gauge series must
+        keep seeing the stuck value after the last sample ages out of
+        the window (last-write-carried-forward)."""
+        store = TimeSeriesStore(window_us=1_000.0)
+        rule = AlertRule(
+            name="queue-stuck", series="gauge:serve/depth", mode="max",
+            threshold=10.0, fast_window_us=2_000.0, slow_window_us=2_000.0,
+        )
+        engine = AlertEngine(store, [rule])
+        store.record(1_000.0, "gauge:serve/depth", 50.0)  # then never changes
+        assert len(engine.evaluate(1_000.0)) == 1
+        # 10 windows later there is no sample inside the window, but the
+        # gauge still *is* 50: the episode stays active, no re-fire...
+        assert engine.evaluate(11_000.0) == []
+        assert len(engine.evaluate(12_000.0)) == 0
+        # ...and window_max (plain) vs the sticky read differ as designed.
+        assert store.window_max("gauge:serve/depth", 10_000.0) == 0
+        assert store.window_max_sticky("gauge:serve/depth", 10_000.0) == 50.0
+        # The gauge recovering clears the episode and re-arms the rule.
+        store.record(13_000.0, "gauge:serve/depth", 0.0)
+        assert engine.evaluate(13_000.0) == []
+        store.record(14_000.0, "gauge:serve/depth", 50.0)
+        assert len(engine.evaluate(14_000.0)) == 1
 
     def test_node_death_fires_at_next_evaluate_with_trace(self):
         store = TimeSeriesStore(window_us=1_000.0)
@@ -290,6 +340,30 @@ class TestTailSampler:
         assert sampler.discarded_traces == 1
         assert sampler.discarded_spans == 1
         assert recorder.trace_spans(tid) == ()
+
+    def test_late_spans_of_a_discarded_trace_are_dropped(self):
+        """A child span arriving after the sampler's drop decision (its
+        parent carried in-band) must not resurrect ``_by_trace``: the
+        recorder's length, capacity accounting and ``spans()`` view all
+        stay consistent."""
+        recorder = self._recorder()
+        sampler = TailSampler(recorder, slow_us=1_000.0)
+        span = recorder.begin("serve.request", detached=True)
+        wire = span.context.wire()
+        recorder.end(span)
+        tid = span.context.trace_id
+        assert not sampler.observe(tid, latency_us=10.0, outcome="completed")
+        before = recorder.discarded_spans
+        from repro.obs.span import NO_SPAN
+
+        late = recorder.record(
+            "srpc.execute", start_us=5.0, end_us=6.0, parent=wire
+        )
+        assert late is NO_SPAN
+        assert recorder.begin("child", parent=wire) is NO_SPAN
+        assert recorder.discarded_spans == before + 2
+        assert recorder.trace_spans(tid) == ()
+        assert len(recorder) == len(recorder.spans())
 
     def test_recovery_pin_overrides_everything(self):
         recorder = self._recorder()
